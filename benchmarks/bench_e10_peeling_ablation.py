@@ -1,0 +1,9 @@
+"""E10 — iterative peeling ablation (Section 1.3 / Figure 1 mechanism)."""
+
+from repro.bench.experiments_scheme import run_e10
+
+
+def test_e10_peeling_ablation(benchmark, run_table):
+    table = run_table(benchmark, run_e10)
+    found = table.column("neighbors found")
+    assert found[0] >= 3 * found[1]

@@ -1,0 +1,10 @@
+"""E1 — spanner size growth |S| vs n (Theorem 2 / Lemma 10)."""
+
+from repro.bench.experiments_spanner import run_e1
+
+
+def test_e1_spanner_size(benchmark, run_table):
+    table = run_table(benchmark, run_e1)
+    # the sweep's densest graph keeps well under half its edges at k=2
+    ratios = table.column("|S|/m")
+    assert ratios[-1] < 0.5

@@ -1,0 +1,10 @@
+"""E2 — stretch bound of the constructed spanner (Theorem 9)."""
+
+from repro.bench.experiments_spanner import run_e2
+
+
+def test_e2_stretch(benchmark, run_table):
+    table = run_table(benchmark, run_e2)
+    bounds = table.column("bound")
+    measured = table.column("max stretch")
+    assert all(m <= b for m, b in zip(measured, bounds))

@@ -1,0 +1,11 @@
+"""E3 — the free-lunch headline: messages independent of |E| (Theorem 11)."""
+
+from repro.bench.experiments_spanner import run_e3
+
+
+def test_e3_messages_vs_density(benchmark, run_table):
+    table = run_table(benchmark, run_e3)
+    sampler = table.column("sampler msgs")
+    ms = table.column("m")
+    # sampler messages grow far slower than density across the sweep
+    assert sampler[-1] / sampler[0] < 0.3 * (ms[-1] / ms[0])

@@ -1,0 +1,9 @@
+"""E4 — round complexity O(3^k h) of the distributed Sampler (Theorem 11)."""
+
+from repro.bench.experiments_spanner import run_e4
+
+
+def test_e4_rounds(benchmark, run_table):
+    table = run_table(benchmark, run_e4)
+    ratios = table.column("rounds / (3^k h)")
+    assert max(ratios) / min(ratios) < 8

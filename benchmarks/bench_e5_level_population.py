@@ -1,0 +1,9 @@
+"""E5 — level population concentration (Lemma 4)."""
+
+from repro.bench.experiments_spanner import run_e5
+
+
+def test_e5_level_population(benchmark, run_table):
+    table = run_table(benchmark, run_e5)
+    for ratio in table.column("ratio"):
+        assert 0.3 < ratio < 3.0

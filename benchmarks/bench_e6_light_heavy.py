@@ -1,0 +1,8 @@
+"""E6 — the light/heavy dichotomy and center discovery (Lemmas 5, 6)."""
+
+from repro.bench.experiments_spanner import run_e6
+
+
+def test_e6_light_heavy(benchmark, run_table):
+    table = run_table(benchmark, run_e6)
+    assert all(stranded == 0 for stranded in table.column("stranded"))

@@ -1,0 +1,8 @@
+"""E7 — cluster-tree heights obey Lemma 8."""
+
+from repro.bench.experiments_spanner import run_e7
+
+
+def test_e7_tree_height(benchmark, run_table):
+    table = run_table(benchmark, run_e7)
+    assert all(h <= b for h, b in zip(table.column("max height"), table.column("bound")))

@@ -1,0 +1,9 @@
+"""E8 — one-stage message-reduction scheme vs direct and gossip (Theorem 3)."""
+
+from repro.bench.experiments_scheme import run_e8
+
+
+def test_e8_one_stage_scheme(benchmark, run_table):
+    table = run_table(benchmark, run_e8)
+    # gossip pays a round blow-up on every case; the scheme stays O(t)
+    assert len(table.rows) >= 3

@@ -1,0 +1,10 @@
+"""E9 — two-stage scheme (Theorem 3, second bullet)."""
+
+from repro.bench.experiments_scheme import run_e9
+
+
+def test_e9_two_stage_scheme(benchmark, run_table):
+    table = run_table(benchmark, run_e9)
+    payload_msgs = table.column("payload msgs")
+    # per-payload cost drops from one-stage to two-stage
+    assert payload_msgs[2] < payload_msgs[1]

@@ -1,0 +1,28 @@
+"""Benchmark suite configuration.
+
+Each ``bench_eN`` file wraps one experiment from :mod:`repro.bench`.
+Experiments embed their own shape assertions, so a benchmark run is
+simultaneously a timing measurement and a reproduction check.  All
+benchmarks use ``pedantic(rounds=1)`` because the measured quantity is
+a full experiment (seconds), not a microbenchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import TableResult, format_table
+
+
+@pytest.fixture
+def run_table():
+    """Run an experiment under the benchmark timer and print its table."""
+
+    def runner(benchmark, fn, scale: str = "quick") -> TableResult:
+        table = benchmark.pedantic(fn, kwargs={"scale": scale}, rounds=1, iterations=1)
+        print()
+        print(format_table(table))
+        assert table.rows, "experiment produced an empty table"
+        return table
+
+    return runner

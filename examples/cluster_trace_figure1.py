@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 1: a step-by-step trace of procedure Cluster_j.
+
+Runs ``Sampler`` on a small dense graph and prints the six panels of the
+paper's Figure 1 — (a) G_j, (b) query edges, (c) F, (d) center
+selection, (e) clustering, (f) G_{j+1} — for every level.
+
+Run:  python examples/cluster_trace_figure1.py
+"""
+
+from repro.core import SamplerParams, build_spanner
+from repro.core.figure1 import render_run
+from repro.graphs import dense_gnm
+
+
+def main() -> None:
+    net = dense_gnm(48, 500, seed=4)
+    params = SamplerParams(k=2, h=2, seed=12, c_query=0.5, c_target=0.6)
+    result = build_spanner(net, params)
+    print(render_run(result.trace))
+    print()
+    print(
+        f"final spanner: {result.size} of {net.m} edges, "
+        f"stretch bound {result.stretch_bound}"
+    )
+
+
+if __name__ == "__main__":
+    main()

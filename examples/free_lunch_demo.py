@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""The "free lunch": Sampler's messages do not grow with |E|.
+
+Sweeps edge density at fixed n and compares the (exact, cross-validated)
+message counts of distributed ``Sampler`` against the Omega(m)-message
+Baswana–Sen baseline — the reproduction of the paper's headline claim.
+
+Run:  python examples/free_lunch_demo.py
+"""
+
+from repro.baselines import baswana_sen_messages_estimate
+from repro.core import SamplerParams, build_spanner
+from repro.core.accounting import expected_total_messages
+from repro.graphs import dense_gnm
+
+
+def main() -> None:
+    n = 600
+    params = SamplerParams(k=2, h=4, seed=2, c_query=0.7, c_target=1.0)
+    print(f"n={n}, k={params.k}, h={params.h} (stretch bound {params.stretch_bound})")
+    print(f"{'m':>10} {'sampler msgs':>14} {'baswana-sen':>14} {'ratio':>8}")
+    for m in (5_000, 12_000, 30_000, 70_000, 140_000):
+        net = dense_gnm(n, m, seed=1)
+        result = build_spanner(net, params)
+        sampler = expected_total_messages(result.trace)
+        baseline = baswana_sen_messages_estimate(net, k=3)
+        print(f"{net.m:>10,} {sampler:>14,} {baseline:>14,} {sampler / baseline:>8.2f}")
+    print(
+        "\nsampler messages flatten once query budgets drop below degrees;\n"
+        "the baseline (like every classic construction) pays Theta(m) per round."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""End-to-end message reduction: run Luby's MIS through the paper's scheme.
+
+Builds the Sampler spanner distributively, t-locally broadcasts every
+node's initial knowledge over it, replays the MIS locally at every node,
+and verifies the outputs are *bit-identical* to a direct execution.
+
+Run:  python examples/message_reduction_pipeline.py
+"""
+
+from repro.algorithms import LubyMis, run_direct
+from repro.core import SamplerParams
+from repro.graphs import erdos_renyi
+from repro.simulate import gossip_estimate, run_one_stage
+
+
+def main() -> None:
+    net = erdos_renyi(130, 0.2, seed=3)
+    algo = LubyMis(phases=5)
+    t = algo.rounds(net.n)
+    print(f"graph: n={net.n} m={net.m}; payload: {algo.name} with t={t} rounds")
+
+    direct = run_direct(net, algo, seed=8)
+    print(
+        f"direct execution: {direct.total_messages:,} messages, "
+        f"{direct.rounds} rounds"
+    )
+
+    params = SamplerParams(k=1, h=3, seed=8, c_query=0.7, c_target=1.0)
+    scheme = run_one_stage(net, algo, params=params, seed=8)
+    print(scheme.summary())
+
+    assert scheme.outputs == direct.outputs, "scheme must replicate direct outputs"
+    in_mis = sorted(v for v, flag in scheme.outputs.items() if flag)
+    print(f"outputs identical to direct execution; |MIS| = {len(in_mis)}")
+
+    gossip = gossip_estimate(net.n, t)
+    print(
+        f"gossip baseline [8,22]: {gossip.rounds} rounds "
+        f"({gossip.rounds / t:.0f}x the payload's t) at {gossip.messages:,} messages"
+    )
+    print(
+        f"the scheme keeps O(t) rounds: simulation took "
+        f"{scheme.simulation_rounds} = alpha*t rounds "
+        f"(alpha = {scheme.spanner.stretch_bound})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Domain scenario: a dense sensor field computing global statistics.
+
+A dense deployment of sensors (many redundant radio links) must agree on
+global statistics — max temperature, mean battery, a leader — again and
+again, while spending as few radio messages as possible.  This realizes
+the paper's concluding remark: with an o(m)-message spanner that costs
+no extra rounds, any global function is computable in O(diameter) time
+and o(m) messages (for large enough m).
+
+The honest accounting at this scale: the spanner is built *once*; every
+subsequent global task floods only the spanner (here ~half the messages
+of flooding the full graph), so the construction amortizes away after a
+couple of tasks — the same free-lunch logic as Theorem 3.
+
+Run:  python examples/sensor_grid_aggregation.py
+"""
+
+import random
+
+from repro.core import SamplerParams
+from repro.graphs import dense_gnm
+from repro.simulate.global_tasks import compute_global, elect_leader, graph_diameter
+
+
+def main() -> None:
+    # Dense deployment: 250 sensors, 25k radio links (avg degree 200).
+    net = dense_gnm(250, 25_000, seed=6)
+    rng = random.Random(42)
+    temperature = {v: round(rng.uniform(10, 40), 1) for v in net.nodes()}
+    battery = {v: rng.uniform(0.1, 1.0) for v in net.nodes()}
+    diameter = graph_diameter(net)
+    print(f"sensor field: n={net.n}, links m={net.m}, diameter={diameter}")
+
+    params = SamplerParams(k=2, h=3, seed=6, c_query=0.5, c_target=0.5)
+
+    hottest = compute_global(
+        net,
+        lambda known: max(known.values()),
+        inputs=temperature,
+        params=params,
+        seed=6,
+    )
+    assert all(out == max(temperature.values()) for out in hottest.outputs.values())
+    print(
+        f"max temperature {max(temperature.values())}°C known at every sensor\n"
+        f"  one-off spanner construction: {hottest.construction_messages:,} messages, "
+        f"|S|={hottest.spanner.size} of {net.m} links\n"
+        f"  per-task flooding over the spanner: {hottest.flood_messages:,} messages, "
+        f"{hottest.flood_rounds} rounds"
+    )
+
+    mean_batt = compute_global(
+        net,
+        lambda known: sum(known.values()) / len(known),
+        inputs=battery,
+        params=params,
+        seed=6,
+    )
+    expected = sum(battery.values()) / len(battery)
+    assert all(abs(out - expected) < 1e-12 for out in mean_batt.outputs.values())
+    print(f"mean battery {expected:.3f} agreed by all sensors")
+
+    leader = elect_leader(net, params=params, seed=6)
+    assert all(out == 0 for out in leader.outputs.values())
+    print("leader elected: sensor 0")
+
+    # Amortization: cumulative messages after q global tasks.
+    naive_per_task = 2 * net.m * diameter
+    spanner_per_task = hottest.flood_messages
+    build = hottest.construction_messages
+    print(f"\n{'tasks':>6} {'spanner pipeline':>18} {'flood G each time':>18}")
+    for q in (1, 2, 4, 8):
+        print(f"{q:>6} {build + q * spanner_per_task:>18,} {q * naive_per_task:>18,}")
+    print(
+        "\nthe construction amortizes after two tasks; every further task "
+        "costs about half the naive flooding — and the gap widens with m."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy-compatible entry point.
+
+The offline build environment ships setuptools without ``wheel``, so
+``pip install -e .`` needs the classic ``setup.py develop`` code path.
+All project metadata lives in ``pyproject.toml``; this shim only exists
+to make editable installs work without network access.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["networkx>=3.0", "numpy>=1.24"],
+)

@@ -1,0 +1,31 @@
+"""Example ``t``-round LOCAL algorithms (simulation payloads).
+
+Algorithms are written against the *pure* :class:`LocalAlgorithm`
+interface: per-node state, a ``step(state, r, inbox) -> (state, outbox)``
+transition, and node randomness confined to a seeded per-node tape.
+Purity is what lets the message-reduction scheme replay a node's whole
+``t``-ball locally and provably produce the same outputs as a direct
+execution — the property Section 6 of the paper relies on and the test
+suite asserts for every algorithm here.
+"""
+
+from repro.algorithms.base import LocalAlgorithm, NodeInit
+from repro.algorithms.aggregation import BallCollect, MinIdAggregation
+from repro.algorithms.bfs import BfsLayers
+from repro.algorithms.coloring import RandomizedColoring
+from repro.algorithms.matching import RandomMatching
+from repro.algorithms.mis import LubyMis
+from repro.algorithms.runner import run_direct, run_inprocess
+
+__all__ = [
+    "BallCollect",
+    "BfsLayers",
+    "LocalAlgorithm",
+    "LubyMis",
+    "MinIdAggregation",
+    "NodeInit",
+    "RandomMatching",
+    "RandomizedColoring",
+    "run_direct",
+    "run_inprocess",
+]

@@ -1,0 +1,65 @@
+"""The pure LOCAL-algorithm interface.
+
+Execution contract (both the direct runner and the ball replay obey it):
+
+* ``t = algo.rounds(n)`` communication rounds are executed;
+* ``state = algo.init(info, tape)`` runs once per node; ``tape`` is a
+  seeded ``random.Random`` private to the node — **all** of the node's
+  randomness must come from it;
+* ``state, outbox = algo.step(state, r, inbox)`` runs for
+  ``r = 0 .. t``: step 0 receives an empty inbox, messages emitted by
+  step ``r`` are the inbox of step ``r + 1`` at the other endpoint, and
+  the outbox of step ``t`` is discarded;
+* ``algo.output(state)`` is the node's final answer.
+
+``inbox``/``outbox`` map incident edge ids to payloads (at most one
+message per edge per round per direction — the LOCAL model with
+unbounded message size never needs more).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["LocalAlgorithm", "NodeInit", "Outbox", "Inbox"]
+
+Inbox = Mapping[int, Any]
+Outbox = dict[int, Any]
+
+
+@dataclass(frozen=True)
+class NodeInit:
+    """Initial knowledge of a node (standard LOCAL assumptions)."""
+
+    node: int
+    ports: tuple[int, ...]
+    n: int
+
+    @property
+    def degree(self) -> int:
+        return len(self.ports)
+
+
+class LocalAlgorithm(ABC):
+    """A ``t``-round LOCAL algorithm as a pure state machine."""
+
+    name: str = "local-algorithm"
+
+    @abstractmethod
+    def rounds(self, n: int) -> int:
+        """The round budget ``t`` on an ``n``-node graph."""
+
+    @abstractmethod
+    def init(self, info: NodeInit, tape: random.Random) -> Any:
+        """Create the node's initial state (may pre-draw randomness)."""
+
+    @abstractmethod
+    def step(self, state: Any, r: int, inbox: Inbox) -> tuple[Any, Outbox]:
+        """One synchronous round; must be deterministic given state+inbox."""
+
+    @abstractmethod
+    def output(self, state: Any) -> Any:
+        """The node's final answer after step ``t``."""

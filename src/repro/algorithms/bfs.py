@@ -1,0 +1,57 @@
+"""Truncated BFS layering from a distinguished root — a deterministic payload.
+
+Every node outputs its distance from the root if it is at most ``t``,
+else ``None``.  Useful both as a simulation payload and as the skeleton
+of global algorithms (broadcast, leader election) run on top of the
+scheme.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.algorithms.base import Inbox, LocalAlgorithm, NodeInit, Outbox
+
+__all__ = ["BfsLayers"]
+
+
+@dataclass
+class _BfsState:
+    ports: tuple[int, ...]
+    dist: int | None
+    announced: bool
+
+
+class BfsLayers(LocalAlgorithm):
+    """Distance-from-root labels, truncated at ``t`` hops."""
+
+    name = "bfs-layers"
+
+    def __init__(self, root: int, t: int) -> None:
+        if t < 0:
+            raise ValueError("t must be >= 0")
+        self._root = root
+        self._t = t
+
+    def rounds(self, n: int) -> int:
+        return self._t
+
+    def init(self, info: NodeInit, tape: random.Random) -> _BfsState:
+        is_root = info.node == self._root
+        return _BfsState(ports=info.ports, dist=0 if is_root else None, announced=False)
+
+    def step(self, state: _BfsState, r: int, inbox: Inbox) -> tuple[_BfsState, Outbox]:
+        if state.dist is None:
+            incoming = [payload for payload in inbox.values()]
+            if incoming:
+                state.dist = min(incoming) + 1
+        outbox: Outbox = {}
+        if state.dist is not None and not state.announced:
+            for eid in state.ports:
+                outbox[eid] = state.dist
+            state.announced = True
+        return state, outbox
+
+    def output(self, state: _BfsState) -> int | None:
+        return state.dist

@@ -1,0 +1,104 @@
+"""Randomized maximal matching as a LOCAL payload.
+
+Israeli–Itai-style role-splitting rounds in the edge-ID model.  Each
+phase (three communication rounds):
+
+1. every free node flips a role coin; *proposers* send a proposal over
+   one uniformly random live edge;
+2. free *acceptors* accept the smallest incoming proposal — binding,
+   because acceptors never propose in the same phase, so the proposer is
+   guaranteed still free;
+3. proposers whose proposal was accepted become matched; every newly
+   matched node announces itself so neighbors drop its edges.
+
+All randomness is pre-drawn from the node tape, keeping the algorithm a
+pure function of its inbox sequence (replayable by the message-reduction
+transformer).  Output per node: the matched edge id, or ``None`` (whp
+only when no unmatched neighbor remains — maximality, which tests
+assert).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.algorithms.base import Inbox, LocalAlgorithm, NodeInit, Outbox
+
+__all__ = ["RandomMatching"]
+
+
+@dataclass
+class _MatchState:
+    ports: tuple[int, ...]
+    draws: tuple[int, ...]
+    matched: int | None = None           # the matched edge id
+    announced: bool = False
+    live: frozenset[int] = frozenset()   # edges to still-unmatched neighbors
+    proposal: int | None = None          # edge we proposed over this phase
+    acceptor: bool = False               # this phase's role
+
+
+class RandomMatching(LocalAlgorithm):
+    """Output: matched edge id or ``None``."""
+
+    name = "rand-matching"
+
+    def __init__(self, phases: int | None = None) -> None:
+        self._phases_override = phases
+
+    def phases(self, n: int) -> int:
+        if self._phases_override is not None:
+            return self._phases_override
+        return 6 * max(1, math.ceil(math.log2(max(2, n)))) + 8
+
+    def rounds(self, n: int) -> int:
+        return 3 * self.phases(n)
+
+    def init(self, info: NodeInit, tape: random.Random) -> _MatchState:
+        draws = tuple(tape.randrange(2**30) for _ in range(self.phases(info.n)))
+        return _MatchState(ports=info.ports, draws=draws, live=frozenset(info.ports))
+
+    def step(self, state: _MatchState, r: int, inbox: Inbox) -> tuple[_MatchState, Outbox]:
+        outbox: Outbox = {}
+        stage = r % 3
+        if stage == 0:
+            # Absorb last phase's "matched" announcements, then take a role.
+            gone = {eid for eid, payload in inbox.items() if payload == "matched"}
+            if gone:
+                state.live = state.live - gone
+            state.proposal = None
+            state.acceptor = False
+            if state.matched is None and state.live:
+                phase = r // 3
+                if phase < len(state.draws):
+                    draw = state.draws[phase]
+                    if draw & 1:
+                        state.acceptor = True
+                    else:
+                        live = sorted(state.live)
+                        state.proposal = live[(draw >> 1) % len(live)]
+                        outbox[state.proposal] = "propose"
+        elif stage == 1:
+            # Binding accept: acceptors never propose, so the proposer on
+            # the other side is guaranteed to still be free.
+            if state.matched is None and state.acceptor:
+                proposals = sorted(
+                    eid for eid, payload in inbox.items() if payload == "propose"
+                )
+                if proposals:
+                    state.matched = proposals[0]
+                    outbox[state.matched] = "accept"
+        else:
+            if state.matched is None and state.proposal is not None:
+                if inbox.get(state.proposal) == "accept":
+                    state.matched = state.proposal
+            if state.matched is not None and not state.announced:
+                state.announced = True
+                for eid in state.ports:
+                    outbox[eid] = "matched"
+        return state, outbox
+
+    def output(self, state: _MatchState) -> int | None:
+        return state.matched

@@ -1,0 +1,111 @@
+"""Luby's randomized maximal independent set as a LOCAL payload.
+
+The classic ``O(log n)``-round algorithm: in each phase every undecided
+node draws a random priority, exchanges it with its neighbors, local
+maxima enter the MIS, and their neighbors leave the game.  Priorities
+are pre-drawn from the node tape at ``init`` time so the algorithm is a
+pure function of ``(tape, inbox sequence)`` — the property the
+message-reduction transformer needs.
+
+Each phase costs two communication rounds (priority exchange, then
+winner notification).  With ``4 ceil(log2 n) + 4`` phases the process
+finishes whp; nodes still undecided at the end (never observed in the
+test matrix) report ``None`` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.algorithms.base import Inbox, LocalAlgorithm, NodeInit, Outbox
+
+__all__ = ["LubyMis"]
+
+_UNDECIDED = "undecided"
+_IN = "in"
+_OUT = "out"
+
+
+@dataclass
+class _MisState:
+    ports: tuple[int, ...]
+    status: str
+    priorities: tuple[float, ...]
+    live_ports: frozenset[int]
+    current_priority: float | None = None
+
+
+class LubyMis(LocalAlgorithm):
+    """Randomized MIS; output ``True`` (in MIS) / ``False`` / ``None``."""
+
+    name = "luby-mis"
+
+    def __init__(self, phases: int | None = None) -> None:
+        self._phases_override = phases
+
+    def phases(self, n: int) -> int:
+        if self._phases_override is not None:
+            return self._phases_override
+        return 4 * max(1, math.ceil(math.log2(max(2, n)))) + 4
+
+    def rounds(self, n: int) -> int:
+        return 2 * self.phases(n)
+
+    def init(self, info: NodeInit, tape: random.Random) -> _MisState:
+        priorities = tuple(tape.random() for _ in range(self.phases(info.n)))
+        return _MisState(
+            ports=info.ports,
+            status=_UNDECIDED,
+            priorities=priorities,
+            live_ports=frozenset(info.ports),
+        )
+
+    def step(self, state: _MisState, r: int, inbox: Inbox) -> tuple[_MisState, Outbox]:
+        outbox: Outbox = {}
+        if r % 2 == 0:
+            # Start of a phase: absorb last phase's winner notifications,
+            # then announce this phase's priority.
+            state = self._absorb_notifications(state, inbox)
+            if state.status is _UNDECIDED:
+                phase = r // 2
+                if phase < len(state.priorities):
+                    state.current_priority = state.priorities[phase]
+                    announce = (state.current_priority,)
+                    for eid in state.live_ports:
+                        outbox[eid] = announce
+        else:
+            # Mid-phase: compare priorities; local maxima join the MIS.
+            if state.status is _UNDECIDED and state.current_priority is not None:
+                wins = all(
+                    payload[0] < state.current_priority
+                    for eid, payload in inbox.items()
+                    if eid in state.live_ports
+                )
+                if wins:
+                    state.status = _IN
+                    for eid in state.live_ports:
+                        outbox[eid] = "winner"
+        return state, outbox
+
+    def output(self, state: _MisState) -> bool | None:
+        if state.status is _IN:
+            return True
+        if state.status is _OUT:
+            return False
+        return None
+
+    @staticmethod
+    def _absorb_notifications(state: _MisState, inbox: Inbox) -> _MisState:
+        lost_ports = {
+            eid
+            for eid, payload in inbox.items()
+            if payload == "winner" and eid in state.live_ports
+        }
+        if not lost_ports:
+            return state
+        if state.status is _UNDECIDED:
+            state.status = _OUT
+        state.live_ports = state.live_ports - lost_ports
+        return state

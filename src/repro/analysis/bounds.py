@@ -1,0 +1,58 @@
+"""The paper's predicted asymptotics, in checkable form.
+
+The benchmark tables report measured quantities next to the values these
+functions predict; shape agreement (log–log slope within tolerance, who
+wins by what factor) is the reproduction's success criterion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "predicted_size_exponent",
+    "predicted_message_exponent",
+    "predicted_round_bound",
+    "scheme_message_exponent",
+    "fit_loglog_slope",
+]
+
+
+def predicted_size_exponent(k: int) -> float:
+    """Theorem 2: ``|S| = O~(n^{1 + 1/(2^{k+1}-1)})``."""
+    return 1.0 + 1.0 / (2 ** (k + 1) - 1)
+
+
+def predicted_message_exponent(k: int, h: int) -> float:
+    """Theorem 2: messages ``O~(n^{1 + 1/(2^{k+1}-1) + 1/h})``."""
+    return predicted_size_exponent(k) + 1.0 / h
+
+
+def predicted_round_bound(k: int, h: int) -> int:
+    """Theorem 2: rounds ``O(3^k h)`` (constant folded as 30, see Schedule)."""
+    return 30 * 3**k * (h + 1) + 30
+
+
+def scheme_message_exponent(gamma: int) -> float:
+    """Theorem 3, first bullet: ``O~(t n^{1 + 2/(2^{gamma+1}-1)})``."""
+    return 1.0 + 2.0 / (2 ** (gamma + 1) - 1)
+
+
+def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    Implemented directly (two-pass means) so it has no numpy dependency
+    in the hot path and is exact for the small tables we fit.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    mx = sum(lx) / len(lx)
+    my = sum(ly) / len(ly)
+    sxx = sum((x - mx) ** 2 for x in lx)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("x values are all equal")
+    return sxy / sxx

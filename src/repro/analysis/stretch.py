@@ -1,0 +1,156 @@
+"""Stretch measurement.
+
+An ``alpha``-spanner satisfies ``dist_H(u, v) <= alpha * dist_G(u, v)``
+for all pairs.  For unweighted graphs this is equivalent to the
+adjacent-pair condition ``dist_H(u, v) <= alpha`` for every edge
+``(u, v)`` of ``G`` (footnote 1 of the paper), which is what
+:func:`adjacent_pair_stretch` measures — exactly for small graphs,
+or over a seeded sample of edges for large ones.
+
+BFS is implemented directly over adjacency lists (no networkx in the
+hot path) so exact measurement stays usable up to a few thousand nodes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.local.network import Network
+
+__all__ = ["StretchReport", "adjacent_pair_stretch", "pairwise_stretch", "bfs_distances"]
+
+_UNREACHABLE = math.inf
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Distribution of measured stretch values."""
+
+    max_stretch: float
+    mean_stretch: float
+    pairs_measured: int
+    unreachable_pairs: int
+
+    @property
+    def ok(self) -> bool:
+        return self.unreachable_pairs == 0
+
+
+def _adjacency(network: Network, edge_ids: Iterable[int] | None = None) -> list[list[int]]:
+    adj: list[list[int]] = [[] for _ in range(network.n)]
+    eids = network.edge_ids if edge_ids is None else edge_ids
+    for eid in eids:
+        u, v = network.endpoints(eid)
+        adj[u].append(v)
+        adj[v].append(u)
+    return adj
+
+
+def bfs_distances(
+    adj: Sequence[Sequence[int]], source: int, cutoff: float = _UNREACHABLE
+) -> dict[int, int]:
+    """Unweighted single-source distances, optionally truncated at ``cutoff``."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if d >= cutoff:
+            continue
+        for nxt in adj[node]:
+            if nxt not in dist:
+                dist[nxt] = d + 1
+                queue.append(nxt)
+    return dist
+
+
+def adjacent_pair_stretch(
+    network: Network,
+    spanner_edges: Iterable[int],
+    *,
+    sample: int | None = None,
+    seed: int = 0,
+    cutoff: float = _UNREACHABLE,
+) -> StretchReport:
+    """Measure ``dist_H`` over edges of ``G`` (the spanner-defining pairs).
+
+    ``sample=None`` measures every edge; otherwise ``sample`` edges are
+    drawn without replacement with a seeded RNG.  ``cutoff`` truncates
+    BFS (useful when the caller only needs to check a known bound).
+    """
+    spanner_adj = _adjacency(network, sorted(set(spanner_edges)))
+    eids = list(network.edge_ids)
+    if sample is not None and sample < len(eids):
+        eids = random.Random(seed).sample(eids, sample)
+
+    # Group queried edges by their lower endpoint so each BFS serves many.
+    by_source: dict[int, list[int]] = {}
+    for eid in eids:
+        u, v = network.endpoints(eid)
+        by_source.setdefault(u, []).append(v)
+
+    worst = 0.0
+    total = 0.0
+    unreachable = 0
+    measured = 0
+    for source, targets in by_source.items():
+        dist = bfs_distances(spanner_adj, source, cutoff=cutoff)
+        for target in targets:
+            measured += 1
+            d = dist.get(target)
+            if d is None:
+                unreachable += 1
+            else:
+                worst = max(worst, float(d))
+                total += d
+    mean = total / max(1, measured - unreachable)
+    return StretchReport(
+        max_stretch=worst,
+        mean_stretch=mean,
+        pairs_measured=measured,
+        unreachable_pairs=unreachable,
+    )
+
+
+def pairwise_stretch(
+    network: Network,
+    spanner_edges: Iterable[int],
+    *,
+    sources: int | None = None,
+    seed: int = 0,
+) -> StretchReport:
+    """Max/mean of ``dist_H / dist_G`` over (sampled-source) node pairs."""
+    g_adj = _adjacency(network)
+    h_adj = _adjacency(network, sorted(set(spanner_edges)))
+    nodes = list(network.nodes())
+    if sources is not None and sources < len(nodes):
+        nodes = random.Random(seed).sample(nodes, sources)
+    worst = 0.0
+    total = 0.0
+    measured = 0
+    unreachable = 0
+    for source in nodes:
+        dg = bfs_distances(g_adj, source)
+        dh = bfs_distances(h_adj, source)
+        for target, d_g in dg.items():
+            if target == source or d_g == 0:
+                continue
+            measured += 1
+            d_h = dh.get(target)
+            if d_h is None:
+                unreachable += 1
+            else:
+                ratio = d_h / d_g
+                worst = max(worst, ratio)
+                total += ratio
+    mean = total / max(1, measured - unreachable)
+    return StretchReport(
+        max_stretch=worst,
+        mean_stretch=mean,
+        pairs_measured=measured,
+        unreachable_pairs=unreachable,
+    )

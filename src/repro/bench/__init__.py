@@ -1,0 +1,16 @@
+"""Benchmark harness: one experiment per claim of the paper.
+
+The paper is a theory paper — its "evaluation" is Theorems 2/3/9/11 and
+Lemmas 4–6/8/10/12 plus the Figure 1 walk-through.  Each experiment
+``E1..E10`` regenerates one of those claims as a measured table (see
+DESIGN.md section 2 for the full index).  Run them with::
+
+    python -m repro.bench --experiment all --scale quick
+
+or through ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.bench.tables import TableResult, format_table
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "TableResult", "format_table", "run_experiment"]

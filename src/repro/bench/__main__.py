@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` — see :mod:`repro.bench.harness`."""
+
+from repro.bench.harness import main
+
+raise SystemExit(main())

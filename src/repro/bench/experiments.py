@@ -1,0 +1,42 @@
+"""Experiment registry (see DESIGN.md section 2 for the index)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.tables import TableResult
+from repro.bench.experiments_spanner import (
+    run_e1,
+    run_e2,
+    run_e3,
+    run_e4,
+    run_e5,
+    run_e6,
+    run_e7,
+)
+from repro.bench.experiments_scheme import run_e8, run_e9, run_e10
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable[[str], TableResult]] = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+    "E9": run_e9,
+    "E10": run_e10,
+}
+
+
+def run_experiment(name: str, scale: str = "quick") -> TableResult:
+    """Run one experiment by id (``E1`` .. ``E10``)."""
+    key = name.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    if scale not in ("quick", "full"):
+        raise ValueError("scale must be 'quick' or 'full'")
+    return EXPERIMENTS[key](scale)

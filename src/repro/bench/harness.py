@@ -1,0 +1,74 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Examples::
+
+    python -m repro.bench --experiment E3
+    python -m repro.bench --experiment all --scale quick
+    python -m repro.bench --experiment all --scale full --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.tables import format_table
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the paper's claims as measured tables "
+            "(Bitton-Emek-Izumi-Kutten, DISC 2019)."
+        ),
+    )
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        help="experiment id (E1..E10) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("quick", "full"),
+        help="workload sizes: quick (seconds each) or full (minutes total)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also append the rendered tables to this file",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
+    # Sort E10 after E9 (lexicographic would put E10 second).
+    names.sort(key=lambda s: int(s[1:]) if s[1:].isdigit() else 99)
+
+    chunks: list[str] = []
+    failures = 0
+    for name in names:
+        started = time.perf_counter()
+        try:
+            table = run_experiment(name, args.scale)
+        except AssertionError as exc:
+            failures += 1
+            chunks.append(f"== {name}: FAILED ==\n{exc}")
+            continue
+        elapsed = time.perf_counter() - started
+        rendered = format_table(table)
+        chunks.append(f"{rendered}\n({elapsed:.1f}s)")
+    output = "\n\n".join(chunks) + "\n"
+    sys.stdout.write(output)
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write(output)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

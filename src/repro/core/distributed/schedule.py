@@ -1,0 +1,134 @@
+"""The global phase schedule of the distributed ``Sampler``.
+
+Every level ``j`` consists of fixed-length windows sized by the cluster
+tree height bound ``H_j = (3^j - 1) / 2`` of Lemma 8:
+
+========== =============== ====================================================
+phase       length          purpose
+========== =============== ====================================================
+GATHER      ``H_j + 1``     convergecast member edge lists + finish payloads
+SCATTER     ``H_j + 1``     leader broadcasts cluster id and live edge list
+PLAN        ``H_j + 1``     leader broadcasts the trial's sampled query edges
+QUERY       1               owners send query messages over sampled edges
+RESPONSE    1               queried endpoints reply (cid, active, edge list)
+COLLECT     ``H_j + 1``     convergecast responses back to the leader
+STATUS      ``H_j + 1``     leader flips center coin, broadcasts status + F
+STATUS_REQ  1               F-edge owners exchange cluster/center status
+STATUS_REP  1               replies to the above
+CAND        ``H_j + 1``     convergecast center candidates (non-center only)
+JOIN        ``H_j + 1``     leader broadcasts stay / join / finish decision
+ATTACH      1               joining edge owner notifies the center side
+REROOT      ``2 H_j + 2``   re-root flood over the joiner's old tree
+FINISH      1               finished clusters announce over their F edges
+========== =============== ====================================================
+
+PLAN/QUERY/RESPONSE/COLLECT repeat ``2h`` times per level; the
+STATUS..FINISH block is skipped at the final level ``k``.  A 1-round END
+phase closes the run.  The total is ``O(3^k * h)`` rounds — Theorem 11's
+round complexity — and is a deterministic function of ``(k, h)``, which
+the tests assert equals the measured round count.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+
+from repro.core.params import SamplerParams
+
+__all__ = ["PhaseKind", "Phase", "Schedule", "tree_height_bound"]
+
+
+def tree_height_bound(level: int) -> int:
+    """Lemma 8: height of a level-``j`` cluster tree is at most ``(3^j - 1)/2``."""
+    return (3**level - 1) // 2
+
+
+class PhaseKind(enum.Enum):
+    GATHER = "gather"
+    SCATTER = "scatter"
+    PLAN = "plan"
+    QUERY = "query"
+    RESPONSE = "response"
+    COLLECT = "collect"
+    STATUS = "status"
+    STATUS_REQ = "status_req"
+    STATUS_REP = "status_rep"
+    CAND = "cand"
+    JOIN = "join"
+    ATTACH = "attach"
+    REROOT = "reroot"
+    FINISH = "finish"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Phase:
+    kind: PhaseKind
+    level: int
+    trial: int  # 1-based trial index for PLAN..COLLECT, else 0
+    start: int  # first round of the phase (rounds are 1-based)
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length - 1
+
+
+class Schedule:
+    """Immutable list of phases with O(log) round-to-phase lookup."""
+
+    def __init__(self, phases: list[Phase]) -> None:
+        self._phases = phases
+        self._starts = [p.start for p in phases]
+        self.total_rounds = phases[-1].end if phases else 0
+
+    @classmethod
+    def build(cls, params: SamplerParams) -> "Schedule":
+        phases: list[Phase] = []
+        next_round = 1
+
+        def add(kind: PhaseKind, level: int, trial: int, length: int) -> None:
+            nonlocal next_round
+            phases.append(
+                Phase(kind=kind, level=level, trial=trial, start=next_round, length=length)
+            )
+            next_round += length
+
+        for level in range(params.levels):
+            window = tree_height_bound(level) + 1
+            add(PhaseKind.GATHER, level, 0, window)
+            add(PhaseKind.SCATTER, level, 0, window)
+            for trial in range(1, params.trials + 1):
+                add(PhaseKind.PLAN, level, trial, window)
+                add(PhaseKind.QUERY, level, trial, 1)
+                add(PhaseKind.RESPONSE, level, trial, 1)
+                add(PhaseKind.COLLECT, level, trial, window)
+            if level < params.k:
+                add(PhaseKind.STATUS, level, 0, window)
+                add(PhaseKind.STATUS_REQ, level, 0, 1)
+                add(PhaseKind.STATUS_REP, level, 0, 1)
+                add(PhaseKind.CAND, level, 0, window)
+                add(PhaseKind.JOIN, level, 0, window)
+                add(PhaseKind.ATTACH, level, 0, 1)
+                add(PhaseKind.REROOT, level, 0, 2 * tree_height_bound(level) + 2)
+                add(PhaseKind.FINISH, level, 0, 1)
+        add(PhaseKind.END, params.k, 0, 1)
+        return cls(phases)
+
+    def phase_at(self, round_index: int) -> tuple[Phase, int]:
+        """The phase covering ``round_index`` and the relative round within it."""
+        if not 1 <= round_index <= self.total_rounds:
+            raise ValueError(f"round {round_index} outside schedule")
+        idx = bisect.bisect_right(self._starts, round_index) - 1
+        phase = self._phases[idx]
+        return phase, round_index - phase.start
+
+    @property
+    def phases(self) -> tuple[Phase, ...]:
+        return tuple(self._phases)
+
+    def rounds_bound(self, params: SamplerParams) -> int:
+        """A closed-form ``O(3^k h)`` upper bound used in tests."""
+        return 30 * 3**params.k * (params.h + 1) + 30

@@ -1,0 +1,78 @@
+"""Render a ``Cluster_j`` level as the six panels of the paper's Figure 1.
+
+Figure 1 illustrates one invocation of ``Cluster_j``: (a) the virtual
+graph ``G_j``, (b) query edges, (c) the chosen edge set ``F``, (d)
+center selection, (e) clustering, (f) the contracted graph ``G_{j+1}``.
+:func:`render_level` regenerates the same six panels as text from a
+:class:`~repro.core.trace.SamplerTrace`, which is exactly what
+``examples/cluster_trace_figure1.py`` prints.
+"""
+
+from __future__ import annotations
+
+from repro.core.trace import LevelTrace, SamplerTrace
+
+__all__ = ["render_level", "render_run"]
+
+
+def _bullet_list(items, per_line: int = 8) -> list[str]:
+    items = list(items)
+    if not items:
+        return ["    (none)"]
+    lines = []
+    for i in range(0, len(items), per_line):
+        lines.append("    " + "  ".join(str(x) for x in items[i : i + per_line]))
+    return lines
+
+
+def render_level(level: LevelTrace, k: int) -> str:
+    """The six Figure-1 panels for one level, as text."""
+    lines: list[str] = []
+    lines.append(f"----- Cluster_{level.level} -----")
+
+    lines.append(f"(a) G_{level.level}: {level.population} virtual nodes, "
+                 f"{level.active_edges} active edges"
+                 + (f" (+{level.stale_edges} stale)" if level.stale_edges > 0 else ""))
+    sizes = sorted(level.cluster_sizes.values(), reverse=True)
+    lines.append(f"    cluster sizes (top): {sizes[:10]}")
+
+    total_queries = level.total_queries
+    trials = max((node.trials for node in level.nodes.values()), default=0)
+    lines.append(f"(b) query edges: {total_queries} queries over <= {trials} trials")
+    busiest = sorted(level.nodes.values(), key=lambda n: -n.queries_sent)[:5]
+    for node in busiest:
+        lines.append(
+            f"    node {node.vid}: {node.queries_sent} queries, "
+            f"{node.neighbors_found}/{node.degree} neighbors found, "
+            f"label={node.label.value}"
+        )
+
+    lines.append(f"(c) F: {len(level.f_edges)} edges join the spanner")
+    lines.extend(_bullet_list(sorted(level.f_edges)[:24]))
+
+    if level.level < k:
+        lines.append(f"(d) centers (p = n^(-2^j d)): {len(level.centers)} marked")
+        lines.extend(_bullet_list(level.centers[:24]))
+
+        lines.append(f"(e) clustering: {len(level.joins)} joins, "
+                     f"{len(level.unclustered)} unclustered")
+        for joiner, center, eid in level.joins[:10]:
+            lines.append(f"    {joiner} -> C({center}) via edge {eid}")
+        if len(level.joins) > 10:
+            lines.append(f"    ... and {len(level.joins) - 10} more")
+
+        next_nodes = len(level.centers)
+        lines.append(f"(f) G_{level.level + 1}: {next_nodes} contracted nodes")
+    else:
+        lines.append("(d)-(f) final level: every node is unclustered; no contraction")
+    return "\n".join(lines)
+
+
+def render_run(trace: SamplerTrace) -> str:
+    """All levels of a run, panel by panel."""
+    header = (
+        f"Sampler trace: n={trace.n}, m={trace.m}, "
+        f"k={trace.params.k}, h={trace.params.h}, seed={trace.params.seed}"
+    )
+    body = "\n\n".join(render_level(level, trace.params.k) for level in trace.levels)
+    return f"{header}\n\n{body}"

@@ -1,0 +1,285 @@
+"""Centralized driver of algorithm ``Sampler`` (Pseudocode 1).
+
+This is the canonical implementation: it executes levels
+``j = 0 .. k``, running one :class:`~repro.core.trials.TrialMachine` per
+virtual node (the first step of ``Cluster_j``), then marks centers and
+forms clusters (the second step), contracting the result into the next
+level.
+
+Semantics match the distributed implementation exactly (see
+DESIGN.md): a cluster's unexplored pool is
+
+    ``X_v = dedup(member incident edges)  minus  finish announcements``
+
+where *dedup* drops every edge id appearing twice among the members
+(such edges are intra-cluster — the unique-edge-ID trick), and finish
+announcements are the edge lists that unclustered clusters push over
+their ``F`` edges when they leave the hierarchy.  Edges leading to
+finished clusters that never announced (only possible for the rare
+``STRANDED`` label) remain in ``X_v`` and are discovered and peeled via
+an ``active=False`` query response.
+
+Randomness is drawn from per-``(purpose, level, cluster)`` streams of a
+:class:`~repro.rng.RngFactory` rooted at ``params.seed``, which is what
+makes the centralized and distributed runs bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.forest import ClusterForest
+from repro.core.params import SamplerParams
+from repro.core.spanner import SpannerResult
+from repro.core.trace import FinishedCluster, LevelTrace, NodeLevelTrace, SamplerTrace
+from repro.core.trials import QueryResult, TrialMachine
+from repro.errors import SimulationError
+from repro.local.network import Network
+from repro.rng import RngFactory
+
+__all__ = ["build_spanner", "SamplerRun"]
+
+
+class SamplerRun:
+    """One centralized execution; exposed for step-by-step inspection."""
+
+    def __init__(self, network: Network, params: SamplerParams) -> None:
+        self.network = network
+        self.params = params
+        self.forest = ClusterForest(network)
+        self.spanner_edges: set[int] = set()
+        self.trace = SamplerTrace(n=network.n, m=network.m, params=params)
+        self._rngf = RngFactory(params.seed)
+        self._active: set[int] = set(network.nodes())
+        self._phys_dead: dict[int, set[int]] = {}
+        self._finished: dict[int, FinishedCluster] = {}
+        self._level_done = 0
+
+    # ------------------------------------------------------------------
+    # public driver
+    # ------------------------------------------------------------------
+    def run(self) -> SpannerResult:
+        for j in range(self.params.levels):
+            self.run_level(j)
+        return self.result()
+
+    def result(self) -> SpannerResult:
+        return SpannerResult(
+            network=self.network,
+            params=self.params,
+            edges=frozenset(self.spanner_edges),
+            trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------
+    # one invocation of Cluster_j
+    # ------------------------------------------------------------------
+    def run_level(self, j: int) -> LevelTrace:
+        if j != self._level_done:
+            raise SimulationError(f"levels must run in order; expected {self._level_done}")
+        live = {cid: self._live_edges(cid) for cid in self._active}
+        by_neighbor = {cid: self._group_by_neighbor(cid, edges) for cid, edges in live.items()}
+        edge_neighbor = {
+            cid: {
+                eid: other
+                for other, bundle in groups.items()
+                for eid in bundle
+            }
+            for cid, groups in by_neighbor.items()
+        }
+        sizes = {cid: self.forest.size(cid) for cid in self._active}
+        heights = {cid: self.forest.tree(cid).height for cid in self._active}
+
+        machines: dict[int, TrialMachine] = {}
+        for cid in sorted(self._active):
+            machine = TrialMachine(
+                vid=cid,
+                level=j,
+                incident_edges=live[cid],
+                params=self.params,
+                n=self.network.n,
+                rng=self._rngf.stream("trials", j, cid),
+            )
+            while machine.wants_trial():
+                queried = machine.begin_trial()
+                results = [
+                    self._resolve(cid, eid, by_neighbor, edge_neighbor)
+                    for eid in queried
+                ]
+                machine.deliver(results)
+            machines[cid] = machine
+
+        level_f: set[int] = set()
+        for machine in machines.values():
+            level_f |= machine.spanner_edges
+        self.spanner_edges |= level_f
+
+        if j < self.params.k:
+            centers, joins, unclustered = self._form_clusters(j, machines)
+        else:
+            # Final level: no clustering; every node of G_k is unclustered.
+            centers, joins = (), ()
+            unclustered = tuple(sorted(self._active))
+
+        active_edges = stale_edges = 0
+        for cid, groups in by_neighbor.items():
+            for other, bundle in groups.items():
+                if other in self._active:
+                    active_edges += len(bundle)
+                else:
+                    stale_edges += len(bundle)
+        level_trace = LevelTrace(
+            level=j,
+            population=len(live),
+            active_edges=active_edges // 2,
+            stale_edges=stale_edges,
+            cluster_sizes=sizes,
+            cluster_heights=heights,
+            nodes={
+                cid: self._node_trace(cid, machine, live[cid], len(by_neighbor[cid]))
+                for cid, machine in machines.items()
+            },
+            centers=centers,
+            joins=joins,
+            unclustered=unclustered,
+            f_edges=frozenset(level_f),
+        )
+        self.trace.levels.append(level_trace)
+
+        # Apply the level's outcome.
+        for joiner, center, eid in joins:
+            self.forest.attach(joiner, center, eid)
+        for cid in unclustered:
+            self._finish_cluster(cid, j, machines[cid], live[cid])
+        self._active = set(centers) if j < self.params.k else set()
+        self._level_done = j + 1
+        return level_trace
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _live_edges(self, cid: int) -> list[int]:
+        """``X_v`` at level start: dedup minus received finish payloads."""
+        counts: Counter[int] = Counter()
+        dead: set[int] = set()
+        for phys in self.forest.members(cid):
+            counts.update(self.network.incident(phys))
+            phys_dead = self._phys_dead.get(phys)
+            if phys_dead:
+                dead |= phys_dead
+        return sorted(e for e, c in counts.items() if c == 1 and e not in dead)
+
+    def _group_by_neighbor(self, cid: int, edges: list[int]) -> dict[int, tuple[int, ...]]:
+        """Partition ``X_v`` by the cluster at the other end of each edge."""
+        groups: dict[int, list[int]] = {}
+        for eid in edges:
+            a, b = self.network.endpoints(eid)
+            ca = self.forest.cluster_of(a)
+            other = self.forest.cluster_of(b) if ca == cid else ca
+            if other == cid:
+                raise SimulationError(f"edge {eid} is intra-cluster for {cid}")
+            groups.setdefault(other, []).append(eid)
+        return {other: tuple(bundle) for other, bundle in groups.items()}
+
+    def _resolve(
+        self,
+        cid: int,
+        eid: int,
+        by_neighbor: dict[int, dict[int, tuple[int, ...]]],
+        edge_neighbor: dict[int, dict[int, int]],
+    ) -> QueryResult:
+        """Answer one query edge exactly as the network would.
+
+        The distributed responder ships its whole edge list ``E_j(u)``;
+        the querying machine then intersects it with ``X_v``, i.e. uses
+        exactly ``E_j(v, u)``.  The centralized oracle hands over that
+        intersection directly — byte-identical machine behaviour at a
+        fraction of the cost (see test_core_equivalence).
+        """
+        other = edge_neighbor[cid][eid]
+        return QueryResult(
+            eid=eid,
+            neighbor=other,
+            neighbor_edges=by_neighbor[cid][other],
+            active=other in self._active,
+        )
+
+    def _form_clusters(
+        self, j: int, machines: dict[int, TrialMachine]
+    ) -> tuple[tuple[int, ...], tuple[tuple[int, int, int], ...], tuple[int, ...]]:
+        """Second step of ``Cluster_j``: centers, joins, unclustered."""
+        p_j = self.params.center_probability(j, self.network.n)
+        centers = {
+            cid
+            for cid in self._active
+            if self._rngf.uniform("center", j, cid) < p_j
+        }
+        outgoing = {cid: machines[cid].f_active for cid in self._active}
+        incoming: dict[int, dict[int, int]] = {cid: {} for cid in self._active}
+        for cid, f_map in outgoing.items():
+            for neighbor, eid in f_map.items():
+                incoming[neighbor][cid] = eid
+
+        joins: list[tuple[int, int, int]] = []
+        for vid in sorted(self._active - centers):
+            candidates = {u for u in outgoing[vid] if u in centers}
+            candidates |= {u for u in incoming[vid] if u in centers}
+            if not candidates:
+                continue
+            chosen = min(candidates)
+            options = [
+                eid
+                for eid in (outgoing[vid].get(chosen), incoming[vid].get(chosen))
+                if eid is not None
+            ]
+            joins.append((vid, chosen, min(options)))
+        joined = {vid for vid, _u, _e in joins}
+        unclustered = tuple(sorted(self._active - centers - joined))
+        return tuple(sorted(centers)), tuple(joins), unclustered
+
+    def _finish_cluster(
+        self, cid: int, level: int, machine: TrialMachine, live: list[int]
+    ) -> None:
+        """Leave the hierarchy: record and announce over the ``F`` edges."""
+        record = FinishedCluster(
+            cid=cid,
+            level=level,
+            label=machine.label,
+            live_edges=frozenset(live),
+        )
+        self._finished[cid] = record
+        self.trace.finished[cid] = record
+        if level >= self.params.k:
+            return  # final level: no further sampling, nothing to announce
+        members = set(self.forest.members(cid))
+        payload = set(live)
+        for _neighbor, eid in machine.f_active.items():
+            a, b = self.network.endpoints(eid)
+            receiver = b if a in members else a
+            self._phys_dead.setdefault(receiver, set()).update(payload)
+
+    def _node_trace(
+        self, cid: int, machine: TrialMachine, live: list[int], degree: int
+    ) -> NodeLevelTrace:
+        stats = machine.stats
+        return NodeLevelTrace(
+            vid=cid,
+            label=machine.label,
+            trials=machine.trials_run,
+            draws=sum(s.draws for s in stats),
+            queries_sent=sum(len(s.queried_eids) for s in stats),
+            neighbors_found=len(machine.f_active),
+            inactive_found=len(machine.f_inactive),
+            pool_initial=len(live),
+            pool_final=machine.pool_size,
+            degree=degree,
+            target=machine.target,
+            query_budget=machine.query_budget,
+            f_active=tuple(sorted(machine.f_active.items())),
+            f_inactive=tuple(sorted(machine.f_inactive.items())),
+            trial_stats=stats,
+        )
+
+def build_spanner(network: Network, params: SamplerParams) -> SpannerResult:
+    """Run centralized ``Sampler`` and return the spanner with its trace."""
+    return SamplerRun(network, params).run()

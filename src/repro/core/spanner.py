@@ -1,0 +1,60 @@
+"""The result object returned by both ``Sampler`` drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import SamplerParams
+from repro.core.trace import SamplerTrace
+from repro.local.metrics import MessageStats
+from repro.local.network import Network
+
+__all__ = ["SpannerResult"]
+
+
+@dataclass(frozen=True)
+class SpannerResult:
+    """A constructed spanner ``H = (V, S)`` plus execution evidence.
+
+    ``messages`` is ``None`` for the centralized driver and holds the
+    exact metered counts for the distributed driver.  ``rounds`` follows
+    the same convention.
+    """
+
+    network: Network
+    params: SamplerParams
+    edges: frozenset[int]
+    trace: SamplerTrace
+    messages: MessageStats | None = None
+    rounds: int | None = None
+
+    @property
+    def size(self) -> int:
+        """``|S|`` — the number of spanner edges."""
+        return len(self.edges)
+
+    @property
+    def stretch_bound(self) -> int:
+        """Theorem 9's whp stretch guarantee: ``2 * 3^k - 1``."""
+        return self.params.stretch_bound
+
+    def subnetwork(self) -> Network:
+        """The spanner as a :class:`Network` (edge ids preserved)."""
+        return self.network.subnetwork(self.edges, name=f"{self.network.name}|spanner")
+
+    def density_ratio(self) -> float:
+        """``|S| / |E|`` — how much of the graph the spanner keeps."""
+        return self.size / max(1, self.network.m)
+
+    def summary(self) -> str:
+        parts = [
+            f"spanner over {self.network.name}:",
+            f"  |V|={self.network.n} |E|={self.network.m} |S|={self.size}",
+            f"  stretch bound={self.stretch_bound} (k={self.params.k}, h={self.params.h})",
+            f"  level populations={self.trace.populations}",
+        ]
+        if self.messages is not None:
+            parts.append(
+                f"  messages={self.messages.total} rounds={self.rounds}"
+            )
+        return "\n".join(parts)

@@ -1,0 +1,250 @@
+"""The first step of ``Cluster_j``: iterative random-edge sampling with peeling.
+
+:class:`TrialMachine` is the exact state machine of Pseudocode 2's first
+step, factored out so the centralized driver (which resolves queries by
+multigraph lookup) and the distributed driver (which resolves them with
+real messages) share one implementation and therefore produce identical
+spanners for identical seeds.
+
+Protocol::
+
+    machine = TrialMachine(...)
+    while machine.wants_trial():
+        eids = machine.begin_trial()        # query edges of this trial
+        results = <resolve each eid>        # oracle or network round-trips
+        machine.deliver(results)
+    machine.label                           # LIGHT / HEAVY / STRANDED
+
+The machine maintains ``X_v`` (the unexplored incident edges) as a
+uniform-sampling pool.  Delivering a query result for neighbor ``u``
+"peels off" every parallel edge in ``E_j(v, u)`` — the paper's key idea
+for neutralizing multiplicity bias (Section 1.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ProtocolError
+from repro.core.params import SamplerParams
+
+__all__ = ["NodeLabel", "QueryResult", "TrialMachine", "TrialStats"]
+
+
+class NodeLabel(enum.Enum):
+    """Terminal classification of a virtual node after its trials.
+
+    Lemma 6: with the paper's constants every node is LIGHT (queried all
+    of its neighbors) or HEAVY (queried at least the target number) whp.
+    STRANDED is the low-probability residual this implementation makes
+    explicit instead of assuming away; stranded nodes are treated like
+    unclustered (light) nodes, which can only add safety, not break it.
+    """
+
+    LIGHT = "light"
+    HEAVY = "heavy"
+    STRANDED = "stranded"
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer to one query edge.
+
+    ``neighbor`` is the cluster id across the queried edge,
+    ``neighbor_edges`` that cluster's full incident edge-id list
+    (``E_j(u)`` — "u reports the IDs of all the edges touching u"), and
+    ``active`` whether the cluster is still a node of ``G_j`` (``False``
+    only for finished clusters discovered through stale edges; see
+    DESIGN.md note 5).
+    """
+
+    eid: int
+    neighbor: int
+    neighbor_edges: tuple[int, ...]
+    active: bool = True
+
+
+@dataclass
+class TrialStats:
+    """Per-trial accounting used by the message model and the trace."""
+
+    trial_index: int
+    pool_before: int
+    draws: int
+    queried_eids: tuple[int, ...]
+    new_neighbors: int = 0
+    peeled_edges: int = 0
+
+
+class TrialMachine:
+    """Runs the (at most) ``2h`` trials of one virtual node at one level."""
+
+    def __init__(
+        self,
+        vid: int,
+        level: int,
+        incident_edges: Iterable[int],
+        params: SamplerParams,
+        n: int,
+        rng: random.Random,
+    ) -> None:
+        self.vid = vid
+        self.level = level
+        self._params = params
+        self._rng = rng
+        self._target = params.target(level, n)
+        self._budget = params.queries_per_trial(level, n)
+        self._max_trials = params.trials
+        self._pool: list[int] = sorted(incident_edges)
+        self._alive: set[int] = set(self._pool)
+        if len(self._alive) != len(self._pool):
+            raise ProtocolError(f"duplicate incident edge ids for vid {vid}")
+        self._f_active: dict[int, int] = {}  # neighbor cid -> chosen eid
+        self._f_inactive: dict[int, int] = {}
+        self._trials_run = 0
+        self._awaiting_delivery = False
+        self._stats: list[TrialStats] = []
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def wants_trial(self) -> bool:
+        """The loop guard of Pseudocode 2 line 4."""
+        if self._awaiting_delivery:
+            raise ProtocolError("deliver() must run before the next trial")
+        return (
+            self._trials_run < self._max_trials
+            and len(self._f_active) < self._target
+            and bool(self._alive)
+        )
+
+    def begin_trial(self) -> list[int]:
+        """Draw this trial's query edges (distinct, sorted).
+
+        Pseudocode samples ``budget`` edges uniformly at random *with
+        replacement* from ``X_v``; duplicate draws collapse because
+        ``F'_v`` is a set, and parallel queried edges to the same
+        neighbor collapse during :meth:`deliver`.
+        """
+        if not self.wants_trial():
+            raise ProtocolError("begin_trial() called when no trial is due")
+        pool_before = len(self._alive)
+        if self._params.exhaustive_small_pools and pool_before <= self._budget:
+            sampled = sorted(self._alive)
+            draws = pool_before
+        else:
+            chosen: set[int] = set()
+            for _ in range(self._budget):
+                chosen.add(self._draw())
+            sampled = sorted(chosen)
+            draws = self._budget
+        self._trials_run += 1
+        self._awaiting_delivery = True
+        self._stats.append(
+            TrialStats(
+                trial_index=self._trials_run,
+                pool_before=pool_before,
+                draws=draws,
+                queried_eids=tuple(sampled),
+            )
+        )
+        return sampled
+
+    def deliver(self, results: Sequence[QueryResult]) -> None:
+        """Process the trial's query answers (the inner while of Pseudocode 2).
+
+        Results are processed in increasing edge-id order, which fixes
+        the pseudocode's "pick an arbitrary edge" deterministically: the
+        kept edge for each newly discovered neighbor is the smallest
+        queried edge id leading to it.
+        """
+        if not self._awaiting_delivery:
+            raise ProtocolError("deliver() without a pending trial")
+        stats = self._stats[-1]
+        for result in sorted(results, key=lambda r: r.eid):
+            if result.eid not in self._alive:
+                # a parallel edge to an already-processed neighbor; it was
+                # peeled earlier in this delivery (Pseudocode 2 line 10).
+                continue
+            if result.neighbor in self._f_active or result.neighbor in self._f_inactive:
+                raise ProtocolError(
+                    f"neighbor {result.neighbor} re-discovered; peeling failed"
+                )
+            peeled = [e for e in result.neighbor_edges if e in self._alive]
+            if result.eid not in peeled:
+                raise ProtocolError(
+                    f"query edge {result.eid} missing from neighbor's edge report"
+                )
+            for eid in peeled:
+                self._alive.remove(eid)
+            stats.peeled_edges += len(peeled)
+            stats.new_neighbors += 1
+            if result.active:
+                self._f_active[result.neighbor] = result.eid
+            else:
+                self._f_inactive[result.neighbor] = result.eid
+        self._awaiting_delivery = False
+        if len(self._pool) > 4 and len(self._alive) * 2 < len(self._pool):
+            self._pool = sorted(self._alive)
+
+    # ------------------------------------------------------------------
+    # terminal state
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> NodeLabel:
+        """Light/heavy/stranded classification (valid once trials stop)."""
+        if self._awaiting_delivery:
+            raise ProtocolError("label read mid-trial")
+        if not self._alive:
+            return NodeLabel.LIGHT
+        if len(self._f_active) >= self._target:
+            return NodeLabel.HEAVY
+        if self.wants_trial():
+            raise ProtocolError("label read before trials finished")
+        return NodeLabel.STRANDED
+
+    @property
+    def f_active(self) -> dict[int, int]:
+        """Queried *active* neighbors: cluster id -> spanner edge id."""
+        return dict(self._f_active)
+
+    @property
+    def f_inactive(self) -> dict[int, int]:
+        """Queried finished clusters (edges peeled, not added to F)."""
+        return dict(self._f_inactive)
+
+    @property
+    def spanner_edges(self) -> frozenset[int]:
+        """``F_v``: the edges this node contributes to the spanner."""
+        return frozenset(self._f_active.values())
+
+    @property
+    def trials_run(self) -> int:
+        return self._trials_run
+
+    @property
+    def target(self) -> int:
+        return self._target
+
+    @property
+    def query_budget(self) -> int:
+        return self._budget
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._alive)
+
+    @property
+    def stats(self) -> tuple[TrialStats, ...]:
+        return tuple(self._stats)
+
+    # ------------------------------------------------------------------
+    def _draw(self) -> int:
+        """One uniform draw from the alive pool (rejection over the list)."""
+        while True:
+            eid = self._pool[self._rng.randrange(len(self._pool))]
+            if eid in self._alive:
+                return eid

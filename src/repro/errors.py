@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object or network configuration is invalid."""
+
+
+class ProtocolError(ReproError):
+    """A distributed program violated the simulator's contract.
+
+    Examples: sending over an edge id the node is not incident to,
+    sending after halting, or exceeding the round budget of a phase.
+    """
+
+
+class SimulationError(ReproError):
+    """The synchronous runtime could not make progress.
+
+    Raised, for instance, when ``max_rounds`` elapses before every node
+    program halts.
+    """
+
+
+class ValidationError(ReproError):
+    """An analysis-time invariant check failed (e.g. not a spanner)."""

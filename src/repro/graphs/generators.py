@@ -1,0 +1,156 @@
+"""Deterministic generators for benchmark and test networks.
+
+All generators return :class:`~repro.local.network.Network` instances
+with consecutive, content-derived edge ids (see
+:meth:`Network.from_graph`), so a given ``(family, parameters, seed)``
+triple always produces the identical network.
+
+Random families are connected by construction or post-connected with
+:func:`ensure_connected`, which links components along a seeded random
+permutation; the paper's guarantees are per connected component, but a
+connected input keeps stretch measurement simple.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.local.knowledge import Knowledge
+from repro.local.network import Network
+
+__all__ = [
+    "erdos_renyi",
+    "dense_gnm",
+    "random_regular",
+    "hypercube",
+    "grid",
+    "torus",
+    "complete_graph",
+    "barabasi_albert",
+    "caveman",
+    "ensure_connected",
+]
+
+
+def ensure_connected(graph: nx.Graph, seed: int) -> nx.Graph:
+    """Connect components by chaining seeded random representatives.
+
+    Adds at most ``#components - 1`` edges; for the random families used
+    here that is a vanishing perturbation.
+    """
+    if graph.number_of_nodes() == 0 or nx.is_connected(graph):
+        return graph
+    rng = random.Random(seed ^ 0x5EED)
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    components.sort(key=lambda c: c[0])
+    for left, right in zip(components, components[1:]):
+        graph.add_edge(rng.choice(left), rng.choice(right))
+    return graph
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    seed: int = 0,
+    *,
+    connected: bool = True,
+    knowledge: Knowledge = Knowledge.EDGE_IDS,
+) -> Network:
+    """G(n, p) random graph."""
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    if connected:
+        graph = ensure_connected(graph, seed)
+    return Network.from_graph(graph, knowledge=knowledge, name=f"er(n={n},p={p},s={seed})")
+
+
+def dense_gnm(
+    n: int,
+    m: int,
+    seed: int = 0,
+    *,
+    connected: bool = True,
+    knowledge: Knowledge = Knowledge.EDGE_IDS,
+) -> Network:
+    """G(n, m): exactly ``m`` uniformly random edges — the density-sweep workload."""
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ConfigurationError(f"m={m} exceeds simple-graph maximum {max_m}")
+    graph = nx.gnm_random_graph(n, m, seed=seed)
+    if connected:
+        graph = ensure_connected(graph, seed)
+    return Network.from_graph(graph, knowledge=knowledge, name=f"gnm(n={n},m={m},s={seed})")
+
+
+def random_regular(
+    n: int,
+    d: int,
+    seed: int = 0,
+    *,
+    knowledge: Knowledge = Knowledge.EDGE_IDS,
+) -> Network:
+    """Random ``d``-regular graph (a standard expander family for d >= 3)."""
+    if n * d % 2 != 0:
+        raise ConfigurationError("n*d must be even for a d-regular graph")
+    graph = nx.random_regular_graph(d, n, seed=seed)
+    graph = ensure_connected(graph, seed)
+    return Network.from_graph(graph, knowledge=knowledge, name=f"reg(n={n},d={d},s={seed})")
+
+
+def hypercube(dim: int, *, knowledge: Knowledge = Knowledge.EDGE_IDS) -> Network:
+    """The ``dim``-dimensional hypercube (n = 2**dim) — Peleg–Ullman's habitat."""
+    graph = nx.hypercube_graph(dim)
+    relabel = {node: int("".join(map(str, node)), 2) for node in graph.nodes()}
+    graph = nx.relabel_nodes(graph, relabel)
+    return Network.from_graph(graph, knowledge=knowledge, name=f"hypercube(d={dim})")
+
+
+def grid(rows: int, cols: int, *, knowledge: Knowledge = Knowledge.EDGE_IDS) -> Network:
+    """2D grid (open boundary): sparse, large diameter."""
+    graph = nx.grid_2d_graph(rows, cols)
+    relabel = {(r, c): r * cols + c for r, c in graph.nodes()}
+    graph = nx.relabel_nodes(graph, relabel)
+    return Network.from_graph(graph, knowledge=knowledge, name=f"grid({rows}x{cols})")
+
+
+def torus(rows: int, cols: int, *, knowledge: Knowledge = Knowledge.EDGE_IDS) -> Network:
+    """2D torus (periodic grid)."""
+    graph = nx.grid_2d_graph(rows, cols, periodic=True)
+    relabel = {(r, c): r * cols + c for r, c in graph.nodes()}
+    graph = nx.relabel_nodes(graph, relabel)
+    return Network.from_graph(graph, knowledge=knowledge, name=f"torus({rows}x{cols})")
+
+
+def complete_graph(n: int, *, knowledge: Knowledge = Knowledge.EDGE_IDS) -> Network:
+    """K_n — the densest workload (m = n(n-1)/2)."""
+    return Network.from_graph(
+        nx.complete_graph(n), knowledge=knowledge, name=f"complete(n={n})"
+    )
+
+
+def barabasi_albert(
+    n: int,
+    attach: int,
+    seed: int = 0,
+    *,
+    knowledge: Knowledge = Knowledge.EDGE_IDS,
+) -> Network:
+    """Preferential-attachment graph: heavy-tailed degrees."""
+    graph = nx.barabasi_albert_graph(n, attach, seed=seed)
+    return Network.from_graph(
+        graph, knowledge=knowledge, name=f"ba(n={n},m={attach},s={seed})"
+    )
+
+
+def caveman(cliques: int, clique_size: int, *, knowledge: Knowledge = Knowledge.EDGE_IDS) -> Network:
+    """Connected caveman graph: dense clusters, sparse inter-cluster edges.
+
+    A stress test for the clustering hierarchy — most edges are
+    intra-cluster and must be recognized as such by the dedup rule.
+    """
+    graph = nx.connected_caveman_graph(cliques, clique_size)
+    return Network.from_graph(
+        graph, knowledge=knowledge, name=f"caveman({cliques}x{clique_size})"
+    )

@@ -1,0 +1,136 @@
+"""The virtual multigraphs ``G_j`` of the clustering hierarchy.
+
+``G_{j+1}`` arises from contracting clusters of ``G_j`` (Section 2 of
+the paper), so it "typically exhibits edge multiplicities even if the
+original communication graph is simple".  A :class:`LevelMultigraph`
+stores, for each virtual node, its neighbors and — crucially — the set
+of *original* edge ids realizing each virtual edge.  Original ids are
+what the algorithm adds to the spanner and what the distributed
+implementation sends real messages over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ConfigurationError
+from repro.local.network import Network
+
+__all__ = ["LevelMultigraph"]
+
+
+class LevelMultigraph:
+    """An immutable multigraph over virtual node ids.
+
+    The edge set is a set of original edge ids; each is realized between
+    exactly one (unordered) pair of distinct virtual nodes.
+    """
+
+    __slots__ = ("_adj", "_edge_endpoints", "_volume")
+
+    def __init__(self, adjacency: Mapping[int, Mapping[int, Iterable[int]]]) -> None:
+        adj: dict[int, dict[int, tuple[int, ...]]] = {}
+        endpoints: dict[int, tuple[int, int]] = {}
+        for v, nbrs in adjacency.items():
+            adj.setdefault(v, {})
+            for u, eids in nbrs.items():
+                if u == v:
+                    raise ConfigurationError("virtual self-loops are not allowed")
+                bundle = tuple(sorted(eids))
+                if not bundle:
+                    continue
+                adj[v][u] = bundle
+                adj.setdefault(u, {})[v] = bundle
+                lo, hi = (v, u) if v < u else (u, v)
+                for eid in bundle:
+                    known = endpoints.get(eid)
+                    if known is not None and known != (lo, hi):
+                        raise ConfigurationError(
+                            f"edge id {eid} realized between two virtual pairs"
+                        )
+                    endpoints[eid] = (lo, hi)
+        self._adj = adj
+        self._edge_endpoints = endpoints
+        self._volume = {
+            v: sum(len(bundle) for bundle in nbrs.values()) for v, nbrs in adj.items()
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def level_zero(cls, network: Network) -> "LevelMultigraph":
+        """``G_0``: the physical simple graph, one virtual node per node."""
+        adjacency: dict[int, dict[int, list[int]]] = {
+            v: {} for v in network.nodes()
+        }
+        for eid in network.edge_ids:
+            u, v = network.endpoints(eid)
+            adjacency[u].setdefault(v, []).append(eid)
+            adjacency[v].setdefault(u, []).append(eid)
+        # setdefault above writes each eid into both directions; dedupe by
+        # constructing from one direction only.
+        one_sided = {
+            v: {u: eids for u, eids in nbrs.items() if u > v}
+            for v, nbrs in adjacency.items()
+        }
+        return cls(one_sided)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of original edge ids alive in this level (with multiplicity)."""
+        return len(self._edge_endpoints)
+
+    def nodes(self) -> Iterator[int]:
+        return iter(sorted(self._adj))
+
+    def has_node(self, v: int) -> bool:
+        return v in self._adj
+
+    def neighbors(self, v: int) -> list[int]:
+        """Distinct neighbors ``N_j(v)``, sorted."""
+        return sorted(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        """Number of distinct neighbors ``|N_j(v)|``."""
+        return len(self._adj[v])
+
+    def volume(self, v: int) -> int:
+        """Number of incident edges ``|E_j(v)|`` counting multiplicity."""
+        return self._volume[v]
+
+    def edges_between(self, v: int, u: int) -> tuple[int, ...]:
+        """``E_j(v, u)``: sorted original edge ids between ``v`` and ``u``."""
+        return self._adj[v].get(u, ())
+
+    def incident_edges(self, v: int) -> list[int]:
+        """``E_j(v)``: sorted original edge ids with exactly one endpoint ``v``."""
+        out: list[int] = []
+        for bundle in self._adj[v].values():
+            out.extend(bundle)
+        out.sort()
+        return out
+
+    def incident_by_neighbor(self, v: int) -> dict[int, tuple[int, ...]]:
+        return dict(self._adj[v])
+
+    def edge_endpoints(self, eid: int) -> tuple[int, int]:
+        """The (virtual) endpoints of an alive original edge id."""
+        return self._edge_endpoints[eid]
+
+    def virtual_neighbor_via(self, v: int, eid: int) -> int:
+        a, b = self._edge_endpoints[eid]
+        if v == a:
+            return b
+        if v == b:
+            return a
+        raise ConfigurationError(f"virtual node {v} not an endpoint of edge {eid}")
+
+    def max_volume(self) -> int:
+        return max(self._volume.values(), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LevelMultigraph(nodes={self.num_nodes}, edges={self.num_edges})"

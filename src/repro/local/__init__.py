@@ -1,0 +1,43 @@
+"""Synchronous LOCAL-model message-passing simulator.
+
+This subpackage is the substrate every other part of the reproduction
+runs on.  It models the fully synchronous LOCAL model of Linial / Peleg
+with the paper's model assumptions:
+
+* the communication graph has **unique edge IDs**, known to both
+  endpoints (strictly between the classic KT0 and KT1 variants);
+* nodes know an O(1)-approximate upper bound on ``log n``;
+* message size is unbounded (only the *number* of messages is metered).
+
+Public surface:
+
+* :class:`~repro.local.network.Network` — immutable communication graph.
+* :class:`~repro.local.node.NodeProgram` / :class:`~repro.local.node.Context`
+  — the per-node program API.
+* :class:`~repro.local.runtime.Runtime` — the synchronous round engine,
+  producing a :class:`~repro.local.metrics.RunReport` with exact message
+  and round counts.
+* :class:`~repro.local.knowledge.Knowledge` — KT0 / EDGE_IDS / KT1.
+"""
+
+from repro.local.edges import EdgeRef
+from repro.local.knowledge import Knowledge
+from repro.local.message import Inbound
+from repro.local.metrics import MessageStats, RunReport
+from repro.local.network import Network
+from repro.local.node import Context, NodeProgram
+from repro.local.runtime import Runtime
+from repro.local.faults import FaultPlan
+
+__all__ = [
+    "Context",
+    "EdgeRef",
+    "FaultPlan",
+    "Inbound",
+    "Knowledge",
+    "MessageStats",
+    "Network",
+    "NodeProgram",
+    "RunReport",
+    "Runtime",
+]

@@ -1,0 +1,41 @@
+"""Edge references with globally unique identifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EdgeRef"]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeRef:
+    """An undirected edge with a unique id.
+
+    ``u <= v`` is enforced so that an edge has a single canonical
+    representation; parallel edges are distinguished solely by ``eid``.
+    """
+
+    eid: int
+    u: int
+    v: int
+
+    def __post_init__(self) -> None:
+        if self.u > self.v:
+            lo, hi = self.v, self.u
+            object.__setattr__(self, "u", lo)
+            object.__setattr__(self, "v", hi)
+
+    def other(self, node: int) -> int:
+        """The endpoint of this edge that is not ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"node {node} is not an endpoint of edge {self.eid}")
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        return (self.u, self.v)
+
+    def is_loop(self) -> bool:
+        return self.u == self.v

@@ -1,0 +1,49 @@
+"""Deterministic fault injection for kernel-level testing.
+
+The LOCAL model itself is failure-free; these hooks exist to test that
+the simulator's bookkeeping (delivery, counting) is airtight and to let
+users experiment with robustness of protocols built on the kernel.
+Faults are deterministic functions of ``(round, eid, seed)`` so runs
+remain reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.rng import stable_uniform
+
+__all__ = ["FaultPlan"]
+
+DropRule = Callable[[int, int], bool]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Decides whether the message sent in ``round`` over ``eid`` is lost.
+
+    ``drop_probability`` applies a seeded Bernoulli coin per
+    ``(round, eid, direction)``; ``rule`` allows arbitrary deterministic
+    drop predicates.  Either (or both) may be used.
+    """
+
+    drop_probability: float = 0.0
+    seed: int = 0
+    rule: DropRule | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+
+    def drops(self, round_index: int, eid: int, sender: int) -> bool:
+        if self.rule is not None and self.rule(round_index, eid):
+            return True
+        if self.drop_probability > 0.0:
+            coin = stable_uniform(self.seed, ("drop", round_index, eid, sender))
+            return coin < self.drop_probability
+        return False
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls()

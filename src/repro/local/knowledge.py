@@ -1,0 +1,40 @@
+"""Initial-knowledge variants of the LOCAL model.
+
+The paper (Section 1.2) distinguishes what a node knows about its
+incident edges when execution starts:
+
+* ``KT0``   — a node knows only its own degree; incident edges are
+  addressed through anonymous local port numbers ``0..deg-1``.
+* ``EDGE_IDS`` — the paper's model: every edge carries a globally unique
+  identifier known to both endpoints.  Nodes still do *not* learn the
+  identity of the node at the other end.
+* ``KT1``  — a node additionally knows the unique ID of the other
+  endpoint of each incident edge.
+
+The simulator enforces these levels at the :class:`~repro.local.node.Context`
+API: reading a neighbor's ID under ``EDGE_IDS`` raises
+:class:`~repro.errors.ProtocolError`, and under ``KT0`` even the global
+edge IDs are hidden behind port numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Knowledge"]
+
+
+class Knowledge(enum.Enum):
+    """How much a node initially knows about its incident edges."""
+
+    KT0 = "kt0"
+    EDGE_IDS = "edge_ids"
+    KT1 = "kt1"
+
+    @property
+    def exposes_edge_ids(self) -> bool:
+        return self is not Knowledge.KT0
+
+    @property
+    def exposes_neighbor_ids(self) -> bool:
+        return self is Knowledge.KT1

@@ -1,0 +1,39 @@
+"""Message envelopes exchanged by node programs.
+
+The LOCAL model places no bound on message size, so payloads are
+arbitrary Python objects.  What the simulator meters is the *number* of
+messages.  Senders are never revealed to receivers: a node learns only
+the port (edge) a message arrived on, which is exactly the information
+the paper's unique-edge-ID model grants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Inbound", "Outbound"]
+
+
+@dataclass(frozen=True, slots=True)
+class Inbound:
+    """A message as seen by the receiving node program.
+
+    ``port`` is the receiver-side handle of the edge the message arrived
+    on: the global edge id under ``EDGE_IDS``/``KT1`` knowledge, a local
+    port number under ``KT0``.
+    """
+
+    port: int
+    payload: Any
+    tag: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Outbound:
+    """A message as queued by the sending node (internal to the runtime)."""
+
+    eid: int
+    sender: int
+    payload: Any
+    tag: str = ""

@@ -1,0 +1,80 @@
+"""Message and round metering for simulator runs."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MessageStats", "RunReport"]
+
+
+@dataclass
+class MessageStats:
+    """Exact message counters for one run.
+
+    ``total`` counts every delivered message once.  ``by_tag`` breaks the
+    total down by the free-form tag the sender attached (the distributed
+    ``Sampler`` uses tags like ``"query"``, ``"bcast"``, ``"finish"`` so
+    experiments can attribute cost to protocol phases).  ``dropped``
+    counts messages removed by a fault plan; they are *not* included in
+    ``total``.
+    """
+
+    total: int = 0
+    dropped: int = 0
+    by_tag: Counter = field(default_factory=Counter)
+    per_round: list[int] = field(default_factory=list)
+
+    def record(self, tag: str) -> None:
+        self.total += 1
+        self.by_tag[tag] += 1
+        if self.per_round:
+            self.per_round[-1] += 1
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    def open_round(self) -> None:
+        self.per_round.append(0)
+
+    @property
+    def rounds_with_traffic(self) -> int:
+        return sum(1 for c in self.per_round if c)
+
+    def merge(self, other: "MessageStats") -> "MessageStats":
+        """Combine counters from two runs (used by multi-stage schemes)."""
+        merged = MessageStats(
+            total=self.total + other.total,
+            dropped=self.dropped + other.dropped,
+            by_tag=self.by_tag + other.by_tag,
+            per_round=self.per_round + other.per_round,
+        )
+        return merged
+
+
+@dataclass
+class RunReport:
+    """Outcome of one synchronous run.
+
+    ``rounds`` is the number of communication rounds executed (the round
+    in which ``on_start`` fires is round 0 and is not counted as a
+    communication round unless messages were exchanged afterwards).
+    ``outputs`` maps node id to whatever the node program exposed via its
+    ``output()`` hook.
+    """
+
+    rounds: int
+    messages: MessageStats
+    outputs: dict[int, Any]
+    halted: bool
+
+    @property
+    def total_messages(self) -> int:
+        return self.messages.total
+
+    def summary(self) -> str:
+        return (
+            f"rounds={self.rounds} messages={self.messages.total} "
+            f"(dropped={self.messages.dropped}) halted={self.halted}"
+        )

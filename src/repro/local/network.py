@@ -1,0 +1,177 @@
+"""Immutable communication networks with unique edge identifiers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.local.edges import EdgeRef
+from repro.local.knowledge import Knowledge
+
+__all__ = ["Network"]
+
+
+class Network:
+    """An undirected communication graph with unique edge IDs.
+
+    Instances are immutable: the distributed runtime, the spanner
+    algorithms, and the analysis code all share one ``Network`` safely.
+    Node identifiers are ``0..n-1``.  Edge identifiers are arbitrary
+    unique non-negative integers (by default consecutive), preserved by
+    :meth:`subnetwork` so a spanner inherits the edge IDs of its parent
+    graph — exactly the property the paper's model relies on.
+    """
+
+    __slots__ = ("_n", "_edges", "_incident", "_knowledge", "_name", "_eids")
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[EdgeRef],
+        *,
+        knowledge: Knowledge = Knowledge.EDGE_IDS,
+        name: str = "",
+    ) -> None:
+        if n <= 0:
+            raise ConfigurationError("a network needs at least one node")
+        edge_map: dict[int, EdgeRef] = {}
+        incident: list[list[int]] = [[] for _ in range(n)]
+        for edge in edges:
+            if edge.eid in edge_map:
+                raise ConfigurationError(f"duplicate edge id {edge.eid}")
+            if edge.is_loop():
+                raise ConfigurationError(f"self-loop on node {edge.u} not allowed")
+            if not (0 <= edge.u < n and 0 <= edge.v < n):
+                raise ConfigurationError(f"edge {edge} has endpoint outside 0..{n - 1}")
+            edge_map[edge.eid] = edge
+            incident[edge.u].append(edge.eid)
+            incident[edge.v].append(edge.eid)
+        self._n = n
+        self._edges: dict[int, EdgeRef] = edge_map
+        self._incident: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(eids)) for eids in incident
+        )
+        self._knowledge = knowledge
+        self._name = name or f"network(n={n},m={len(edge_map)})"
+        self._eids: tuple[int, ...] = tuple(sorted(edge_map))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: nx.Graph,
+        *,
+        knowledge: Knowledge = Knowledge.EDGE_IDS,
+        name: str = "",
+    ) -> "Network":
+        """Build a network from a simple ``networkx`` graph.
+
+        Nodes are relabelled to ``0..n-1`` in sorted order; edges receive
+        consecutive IDs in lexicographic endpoint order, which makes edge
+        IDs a pure function of the graph (stable across runs).
+        """
+        nodes = sorted(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        pairs = sorted(
+            (min(index[a], index[b]), max(index[a], index[b])) for a, b in graph.edges()
+        )
+        edges = [EdgeRef(eid, u, v) for eid, (u, v) in enumerate(pairs)]
+        return cls(len(nodes), edges, knowledge=knowledge, name=name or str(graph))
+
+    @classmethod
+    def from_edge_pairs(
+        cls,
+        n: int,
+        pairs: Sequence[tuple[int, int]],
+        *,
+        knowledge: Knowledge = Knowledge.EDGE_IDS,
+        name: str = "",
+    ) -> "Network":
+        edges = [EdgeRef(eid, u, v) for eid, (u, v) in enumerate(pairs)]
+        return cls(n, edges, knowledge=knowledge, name=name)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def m(self) -> int:
+        return len(self._edges)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def knowledge(self) -> Knowledge:
+        return self._knowledge
+
+    @property
+    def edge_ids(self) -> tuple[int, ...]:
+        return self._eids
+
+    def nodes(self) -> range:
+        return range(self._n)
+
+    def edge(self, eid: int) -> EdgeRef:
+        return self._edges[eid]
+
+    def has_edge_id(self, eid: int) -> bool:
+        return eid in self._edges
+
+    def incident(self, node: int) -> tuple[int, ...]:
+        """Sorted edge ids incident to ``node``."""
+        return self._incident[node]
+
+    def degree(self, node: int) -> int:
+        return len(self._incident[node])
+
+    def endpoints(self, eid: int) -> tuple[int, int]:
+        edge = self._edges[eid]
+        return edge.u, edge.v
+
+    def other_end(self, eid: int, node: int) -> int:
+        """Runtime-side lookup; *not* exposed to node programs."""
+        return self._edges[eid].other(node)
+
+    def neighbors(self, node: int) -> list[int]:
+        return [self._edges[eid].other(node) for eid in self._incident[node]]
+
+    # ------------------------------------------------------------------
+    # derived networks and exports
+    # ------------------------------------------------------------------
+    def subnetwork(self, eids: Iterable[int], *, name: str = "") -> "Network":
+        """Same node set, subset of edges, **same edge IDs**."""
+        keep = []
+        for eid in sorted(set(eids)):
+            if eid not in self._edges:
+                raise ConfigurationError(f"edge id {eid} not in network")
+            keep.append(self._edges[eid])
+        return Network(
+            self._n, keep, knowledge=self._knowledge, name=name or f"{self._name}|sub"
+        )
+
+    def with_knowledge(self, knowledge: Knowledge) -> "Network":
+        return Network(
+            self._n, self._edges.values(), knowledge=knowledge, name=self._name
+        )
+
+    def to_networkx(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._n))
+        for edge in self._edges.values():
+            graph.add_edge(edge.u, edge.v, eid=edge.eid)
+        return graph
+
+    def adjacency(self) -> Mapping[int, list[int]]:
+        return {v: self.neighbors(v) for v in range(self._n)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network(n={self._n}, m={self.m}, knowledge={self._knowledge.value})"

@@ -1,0 +1,157 @@
+"""The per-node program API of the simulator.
+
+A distributed algorithm is expressed as a :class:`NodeProgram` subclass.
+The runtime instantiates one program per node (via a factory) and drives
+all of them in lockstep rounds:
+
+* round 0: :meth:`NodeProgram.on_start` runs at every node; messages
+  queued there are delivered at the beginning of round 1;
+* round ``r >= 1``: every node receives the messages sent to it in round
+  ``r - 1`` and runs :meth:`NodeProgram.on_round`.
+
+A node that calls :meth:`Context.halt` stops being scheduled, except
+that it may opt into *reactive* mode (``reactive=True``) in which its
+``on_round`` is still invoked whenever a message arrives — the paper's
+finished clusters answer queries this way without counting as active.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+from repro.errors import ProtocolError
+from repro.local.knowledge import Knowledge
+from repro.local.message import Inbound, Outbound
+
+__all__ = ["Context", "NodeProgram"]
+
+
+class Context:
+    """Local view handed to a node program; enforces the knowledge model."""
+
+    __slots__ = (
+        "_node",
+        "_ports",
+        "_port_to_eid",
+        "_eid_to_port",
+        "_neighbor_by_eid",
+        "_knowledge",
+        "_n_hint",
+        "_rng",
+        "_outbox",
+        "_halted",
+        "_reactive",
+    )
+
+    def __init__(
+        self,
+        node: int,
+        eids: Sequence[int],
+        neighbor_by_eid: dict[int, int],
+        knowledge: Knowledge,
+        n_hint: int,
+        rng: random.Random,
+    ) -> None:
+        self._node = node
+        self._knowledge = knowledge
+        self._n_hint = n_hint
+        self._rng = rng
+        self._neighbor_by_eid = neighbor_by_eid
+        if knowledge is Knowledge.KT0:
+            self._port_to_eid = dict(enumerate(eids))
+            self._eid_to_port = {eid: port for port, eid in enumerate(eids)}
+            self._ports = tuple(range(len(eids)))
+        else:
+            self._port_to_eid = {eid: eid for eid in eids}
+            self._eid_to_port = dict(self._port_to_eid)
+            self._ports = tuple(eids)
+        self._outbox: list[Outbound] = []
+        self._halted = False
+        self._reactive = False
+
+    # -- identity and knowledge ---------------------------------------
+    @property
+    def node(self) -> int:
+        """This node's unique identifier (standard LOCAL assumption)."""
+        return self._node
+
+    @property
+    def degree(self) -> int:
+        return len(self._ports)
+
+    @property
+    def ports(self) -> tuple[int, ...]:
+        """Handles for incident edges (global edge ids unless KT0)."""
+        return self._ports
+
+    @property
+    def n_hint(self) -> int:
+        """The promised O(1)-approximate upper bound on ``n``."""
+        return self._n_hint
+
+    @property
+    def rng(self) -> random.Random:
+        """This node's private, reproducible randomness stream."""
+        return self._rng
+
+    @property
+    def knowledge(self) -> Knowledge:
+        return self._knowledge
+
+    def neighbor(self, port: int) -> int:
+        """The ID of the node across ``port`` — KT1 only."""
+        if not self._knowledge.exposes_neighbor_ids:
+            raise ProtocolError(
+                f"neighbor IDs are not available under {self._knowledge.value}"
+            )
+        return self._neighbor_by_eid[self._port_to_eid[port]]
+
+    # -- actions --------------------------------------------------------
+    def send(self, port: int, payload: Any, tag: str = "") -> None:
+        """Queue one message over ``port`` for delivery next round."""
+        if self._halted and not self._reactive:
+            raise ProtocolError(f"node {self._node} sent after halting")
+        eid = self._port_to_eid.get(port)
+        if eid is None:
+            raise ProtocolError(
+                f"node {self._node} is not incident to port {port}"
+            )
+        self._outbox.append(Outbound(eid=eid, sender=self._node, payload=payload, tag=tag))
+
+    def halt(self, *, reactive: bool = False) -> None:
+        """Stop being scheduled; ``reactive=True`` keeps answering messages."""
+        self._halted = True
+        self._reactive = reactive
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    @property
+    def reactive(self) -> bool:
+        return self._reactive
+
+    # -- runtime-side helpers (not part of the program-facing API) ------
+    def _drain(self) -> list[Outbound]:
+        queued, self._outbox = self._outbox, []
+        return queued
+
+    def _port_of(self, eid: int) -> int:
+        return self._eid_to_port[eid]
+
+
+class NodeProgram(ABC):
+    """Base class for synchronous LOCAL node programs."""
+
+    def on_start(self, ctx: Context) -> None:
+        """Round-0 hook; override to initialize state and send first messages."""
+
+    @abstractmethod
+    def on_round(self, ctx: Context, inbox: Sequence[Inbound]) -> None:
+        """Process one synchronous round."""
+
+    def output(self) -> Any:
+        """The node's final output, collected into the run report."""
+        return None

@@ -1,0 +1,161 @@
+"""The synchronous round engine.
+
+Semantics (fully synchronous LOCAL model):
+
+* all nodes run in lockstep; a message sent in round ``r`` is delivered
+  at the start of round ``r + 1``;
+* message size is unbounded and not metered; the *count* of messages is
+  metered exactly (one per ``Context.send`` call);
+* the run ends when every non-reactive program has halted and no
+  messages are in flight, or when an optional fixed round budget is
+  reached.
+
+The engine is deterministic: nodes are stepped in increasing id order
+and per-node randomness comes from streams derived off the run seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import SimulationError
+from repro.local.faults import FaultPlan
+from repro.local.message import Inbound, Outbound
+from repro.local.metrics import MessageStats, RunReport
+from repro.local.network import Network
+from repro.local.node import Context, NodeProgram
+from repro.rng import RngFactory
+
+__all__ = ["Runtime", "ProgramFactory"]
+
+ProgramFactory = Callable[[int], NodeProgram]
+
+
+class Runtime:
+    """Drives one distributed execution over a :class:`Network`."""
+
+    def __init__(
+        self,
+        network: Network,
+        program_factory: ProgramFactory,
+        *,
+        seed: int = 0,
+        max_rounds: int = 100_000,
+        fixed_rounds: int | None = None,
+        n_hint: int | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        self._network = network
+        self._seed = seed
+        self._max_rounds = max_rounds
+        self._fixed_rounds = fixed_rounds
+        self._n_hint = n_hint if n_hint is not None else network.n
+        self._faults = faults or FaultPlan.none()
+        rng_factory = RngFactory(seed)
+        self._programs: list[NodeProgram] = []
+        self._contexts: list[Context] = []
+        for node in network.nodes():
+            eids = network.incident(node)
+            neighbor_by_eid = {eid: network.other_end(eid, node) for eid in eids}
+            ctx = Context(
+                node=node,
+                eids=eids,
+                neighbor_by_eid=neighbor_by_eid,
+                knowledge=network.knowledge,
+                n_hint=self._n_hint,
+                rng=rng_factory.stream("node", node),
+            )
+            self._contexts.append(ctx)
+            self._programs.append(program_factory(node))
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def run(self) -> RunReport:
+        stats = MessageStats()
+        network = self._network
+        in_flight: list[Outbound] = []
+
+        # Round 0: on_start at every node.
+        stats.open_round()
+        for node in network.nodes():
+            self._programs[node].on_start(self._contexts[node])
+        in_flight = self._collect(stats, round_index=0)
+
+        rounds = 0
+        while True:
+            if self._fixed_rounds is not None:
+                if rounds >= self._fixed_rounds:
+                    break
+            elif not in_flight and self._all_halted():
+                break
+            if rounds >= self._max_rounds:
+                raise SimulationError(
+                    f"exceeded max_rounds={self._max_rounds} "
+                    f"({stats.total} messages so far)"
+                )
+            rounds += 1
+            stats.open_round()
+            inboxes: dict[int, list[Inbound]] = {}
+            for msg in in_flight:
+                receiver = network.other_end(msg.eid, msg.sender)
+                port = self._contexts[receiver]._port_of(msg.eid)
+                inboxes.setdefault(receiver, []).append(
+                    Inbound(port=port, payload=msg.payload, tag=msg.tag)
+                )
+            for node in network.nodes():
+                ctx = self._contexts[node]
+                inbox = inboxes.get(node, ())
+                if ctx.halted and not (ctx.reactive and inbox):
+                    continue
+                self._programs[node].on_round(ctx, inbox)
+            in_flight = self._collect(stats, round_index=rounds)
+
+        outputs = {
+            node: self._programs[node].output() for node in network.nodes()
+        }
+        return RunReport(
+            rounds=rounds,
+            messages=stats,
+            outputs=outputs,
+            halted=self._all_halted(),
+        )
+
+    # ------------------------------------------------------------------
+    def _collect(self, stats: MessageStats, round_index: int) -> list[Outbound]:
+        queued: list[Outbound] = []
+        for node in self._network.nodes():
+            for msg in self._contexts[node]._drain():
+                if self._faults.drops(round_index, msg.eid, msg.sender):
+                    stats.record_drop()
+                    continue
+                stats.record(msg.tag)
+                queued.append(msg)
+        return queued
+
+    def _all_halted(self) -> bool:
+        return all(ctx.halted for ctx in self._contexts)
+
+
+def run_program(
+    network: Network,
+    program_factory: ProgramFactory,
+    *,
+    seed: int = 0,
+    max_rounds: int = 100_000,
+    fixed_rounds: int | None = None,
+    n_hint: int | None = None,
+    faults: FaultPlan | None = None,
+) -> RunReport:
+    """Convenience wrapper: build a :class:`Runtime` and run it."""
+    runtime = Runtime(
+        network,
+        program_factory,
+        seed=seed,
+        max_rounds=max_rounds,
+        fixed_rounds=fixed_rounds,
+        n_hint=n_hint,
+        faults=faults,
+    )
+    return runtime.run()

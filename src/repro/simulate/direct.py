@@ -1,0 +1,22 @@
+"""Direct-execution baseline: run the payload on ``G`` itself.
+
+This is what the message-reduction scheme is measured against: a
+``t``-round LOCAL algorithm that talks to all neighbors costs
+``Theta(m)`` messages per round when executed directly.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import LocalAlgorithm
+from repro.algorithms.runner import DirectOutcome, run_direct
+from repro.local.network import Network
+
+__all__ = ["run_direct_baseline"]
+
+
+def run_direct_baseline(
+    network: Network, algo: LocalAlgorithm, seed: int = 0
+) -> DirectOutcome:
+    """Alias of :func:`repro.algorithms.runner.run_direct` (naming parity
+    with the scheme entry points)."""
+    return run_direct(network, algo, seed)

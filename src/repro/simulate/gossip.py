@@ -1,0 +1,114 @@
+"""Gossip-based message-reduction baseline (Censor-Hillel et al. [8], Haeupler [22]).
+
+The paper's introduction compares against gossip schemes that transform
+any ``t``-round LOCAL algorithm into an ``O(t log n + log^2 n)``-round
+algorithm sending ``n`` messages per round.  Reproducing the full
+conductance-free rumor-spreading machinery is out of scope (DESIGN.md,
+substitution note 3); this module provides:
+
+* :func:`gossip_estimate` — the cited complexity envelope, used in the
+  comparison tables (it is the *round blow-up*, not the message count,
+  that the paper's scheme improves on);
+* :class:`PushPullGossip` + :func:`run_push_pull` — a concrete classic
+  push–pull protocol, runnable on the kernel, whose measured coverage
+  illustrates why plain gossip needs those extra machinery/rounds on
+  poorly connected graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.local.message import Inbound
+from repro.local.metrics import MessageStats
+from repro.local.network import Network
+from repro.local.node import Context, NodeProgram
+from repro.local.runtime import run_program
+
+__all__ = ["GossipEstimate", "gossip_estimate", "PushPullGossip", "run_push_pull"]
+
+
+@dataclass(frozen=True)
+class GossipEstimate:
+    """The [22] envelope for simulating a ``t``-round LOCAL algorithm."""
+
+    rounds: int
+    messages: int
+
+    @property
+    def messages_per_round(self) -> float:
+        return self.messages / max(1, self.rounds)
+
+
+def gossip_estimate(n: int, t: int, c1: float = 1.0) -> GossipEstimate:
+    """``O(t log n + log^2 n)`` rounds at ``n`` messages per round."""
+    log_n = max(1.0, math.log2(max(2, n)))
+    rounds = math.ceil(c1 * (t * log_n + log_n**2))
+    return GossipEstimate(rounds=rounds, messages=rounds * n)
+
+
+class PushPullGossip(NodeProgram):
+    """Classic push–pull: one partner per round, exchange known sets."""
+
+    def __init__(self, node: int) -> None:
+        self._node = node
+        self._known: set[int] = {node}
+
+    def on_start(self, ctx: Context) -> None:
+        self._push(ctx)
+
+    def on_round(self, ctx: Context, inbox: Sequence[Inbound]) -> None:
+        for msg in inbox:
+            kind, items = msg.payload
+            self._known.update(items)
+            if kind == "push-pull":
+                ctx.send(msg.port, ("reply", tuple(self._known)), tag="gossip")
+        self._push(ctx)
+
+    def output(self) -> frozenset[int]:
+        return frozenset(self._known)
+
+    def _push(self, ctx: Context) -> None:
+        if not ctx.ports:
+            return
+        partner = ctx.ports[ctx.rng.randrange(len(ctx.ports))]
+        ctx.send(partner, ("push-pull", tuple(self._known)), tag="gossip")
+
+
+@dataclass(frozen=True)
+class PushPullReport:
+    coverage: float  # fraction of (node, t-ball member) pairs delivered
+    messages: MessageStats
+    rounds: int
+
+
+def run_push_pull(
+    network: Network, rounds: int, t: int, seed: int = 0
+) -> PushPullReport:
+    """Run push–pull for ``rounds`` rounds; measure ``t``-ball coverage."""
+    from repro.analysis.stretch import bfs_distances
+
+    report = run_program(
+        network,
+        lambda node: PushPullGossip(node),
+        seed=seed,
+        fixed_rounds=rounds,
+        max_rounds=rounds + 1,
+    )
+    adj = [network.neighbors(v) for v in network.nodes()]
+    delivered = 0
+    required = 0
+    for node in network.nodes():
+        ball = bfs_distances(adj, node, cutoff=t)
+        known = report.outputs[node]
+        for member in ball:
+            required += 1
+            if member in known:
+                delivered += 1
+    return PushPullReport(
+        coverage=delivered / max(1, required),
+        messages=report.messages,
+        rounds=report.rounds,
+    )

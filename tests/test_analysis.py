@@ -1,0 +1,151 @@
+"""Tests for stretch measurement, validation, bounds, and stats."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    adjacent_pair_stretch,
+    fit_loglog_slope,
+    pairwise_stretch,
+    predicted_size_exponent,
+    validate_spanner,
+)
+from repro.analysis.bounds import (
+    predicted_message_exponent,
+    predicted_round_bound,
+    scheme_message_exponent,
+)
+from repro.analysis.stats import geometric_mean, mean, percentile, relative_spread
+from repro.core import SamplerParams, build_spanner
+from repro.core.spanner import SpannerResult
+from repro.errors import ValidationError
+from repro.local.network import Network
+
+
+@pytest.fixture
+def cycle6() -> Network:
+    return Network.from_edge_pairs(6, [(i, (i + 1) % 6) for i in range(6)], name="c6")
+
+
+class TestAdjacentPairStretch:
+    def test_full_graph_has_stretch_one(self, cycle6):
+        report = adjacent_pair_stretch(cycle6, cycle6.edge_ids)
+        assert report.max_stretch == 1.0
+        assert report.mean_stretch == 1.0
+        assert report.pairs_measured == 6
+
+    def test_removed_edge_forces_detour(self, cycle6):
+        spanner = [e for e in cycle6.edge_ids if e != 0]
+        report = adjacent_pair_stretch(cycle6, spanner)
+        assert report.max_stretch == 5.0  # the long way around the cycle
+
+    def test_disconnection_detected(self, cycle6):
+        spanner = list(cycle6.edge_ids)[:2]
+        report = adjacent_pair_stretch(cycle6, spanner)
+        assert report.unreachable_pairs > 0
+        assert not report.ok
+
+    def test_sampling_mode(self, er_medium):
+        report = adjacent_pair_stretch(er_medium, er_medium.edge_ids, sample=50, seed=1)
+        assert report.pairs_measured == 50
+        assert report.max_stretch == 1.0
+
+    def test_cutoff_counts_far_pairs_unreachable(self, cycle6):
+        spanner = [e for e in cycle6.edge_ids if e != 0]
+        report = adjacent_pair_stretch(cycle6, spanner, cutoff=3)
+        assert report.unreachable_pairs == 1
+
+
+class TestPairwiseStretch:
+    def test_identity_spanner(self, er_small):
+        report = pairwise_stretch(er_small, er_small.edge_ids, sources=10, seed=2)
+        assert report.max_stretch == 1.0
+
+    def test_detour_ratio(self, cycle6):
+        spanner = [e for e in cycle6.edge_ids if e != 0]
+        report = pairwise_stretch(cycle6, spanner)
+        assert report.max_stretch == 5.0
+
+
+class TestValidateSpanner:
+    def test_accepts_valid(self, er_medium, default_params):
+        result = build_spanner(er_medium, default_params)
+        validation = validate_spanner(result)
+        assert validation.size == result.size
+        assert validation.stretch.max_stretch <= validation.stretch_bound
+
+    def test_rejects_foreign_edges(self, er_medium, default_params):
+        result = build_spanner(er_medium, default_params)
+        tampered = SpannerResult(
+            network=er_medium,
+            params=result.params,
+            edges=frozenset(result.edges | {10**9}),
+            trace=result.trace,
+        )
+        with pytest.raises(ValidationError):
+            validate_spanner(tampered)
+
+    def test_rejects_disconnecting_spanner(self, er_medium, default_params):
+        result = build_spanner(er_medium, default_params)
+        # keep only a handful of edges: some adjacent pair must break
+        tampered = SpannerResult(
+            network=er_medium,
+            params=result.params,
+            edges=frozenset(list(result.edges)[:3]),
+            trace=result.trace,
+        )
+        with pytest.raises(ValidationError):
+            validate_spanner(tampered)
+
+
+class TestBounds:
+    def test_size_exponents(self):
+        assert predicted_size_exponent(1) == pytest.approx(4 / 3)
+        assert predicted_size_exponent(2) == pytest.approx(8 / 7)
+
+    def test_message_exponent(self):
+        assert predicted_message_exponent(2, 4) == pytest.approx(8 / 7 + 0.25)
+
+    def test_round_bound_monotone(self):
+        assert predicted_round_bound(2, 4) > predicted_round_bound(1, 4)
+        assert predicted_round_bound(2, 8) > predicted_round_bound(2, 4)
+
+    def test_scheme_exponent(self):
+        assert scheme_message_exponent(1) == pytest.approx(1 + 2 / 3)
+
+    def test_slope_fit_exact_power_law(self):
+        xs = [100, 200, 400, 800]
+        ys = [3 * x**1.37 for x in xs]
+        assert fit_loglog_slope(xs, ys) == pytest.approx(1.37, abs=1e-9)
+
+    def test_slope_fit_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1], [2])
+        with pytest.raises(ValueError):
+            fit_loglog_slope([2, 2], [1, 3])
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([0, 1])
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 100) == 100
+        with pytest.raises(ValueError):
+            percentile(values, 101)
+
+    def test_relative_spread(self):
+        assert relative_spread([5, 5, 5]) == 0
+        assert relative_spread([4, 6]) == pytest.approx(0.4)

@@ -1,0 +1,128 @@
+"""Coverage for result objects, metrics, traces, and model guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SamplerParams, build_spanner
+from repro.core.distributed import build_spanner_distributed
+from repro.core.trace import SamplerTrace
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.local import Knowledge, MessageStats
+from repro.local.metrics import RunReport
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ConfigurationError, ProtocolError, SimulationError, ValidationError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestMessageStats:
+    def test_record_and_rounds(self):
+        stats = MessageStats()
+        stats.open_round()
+        stats.record("a")
+        stats.record("a")
+        stats.open_round()
+        stats.record("b")
+        assert stats.total == 3
+        assert stats.by_tag == {"a": 2, "b": 1}
+        assert stats.per_round == [2, 1]
+        assert stats.rounds_with_traffic == 2
+
+    def test_merge(self):
+        a, b = MessageStats(), MessageStats()
+        a.open_round(); a.record("x")
+        b.open_round(); b.record("y"); b.record_drop()
+        merged = a.merge(b)
+        assert merged.total == 2
+        assert merged.dropped == 1
+        assert merged.by_tag == {"x": 1, "y": 1}
+
+    def test_run_report_summary(self):
+        stats = MessageStats()
+        report = RunReport(rounds=3, messages=stats, outputs={}, halted=True)
+        assert "rounds=3" in report.summary()
+        assert report.total_messages == 0
+
+
+class TestSpannerResultApi:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.graphs import erdos_renyi
+
+        return build_spanner(erdos_renyi(50, 0.2, seed=2), SamplerParams(k=1, h=2, seed=1))
+
+    def test_summary_mentions_sizes(self, result):
+        text = result.summary()
+        assert f"|S|={result.size}" in text
+        assert "stretch bound=5" in text
+
+    def test_subnetwork_roundtrip(self, result):
+        sub = result.subnetwork()
+        assert sub.m == result.size
+        assert set(sub.edge_ids) == set(result.edges)
+
+    def test_density_ratio(self, result):
+        assert 0 < result.density_ratio() <= 1
+
+    def test_distributed_summary_includes_messages(self):
+        from repro.graphs import erdos_renyi
+
+        dist = build_spanner_distributed(
+            erdos_renyi(40, 0.2, seed=3), SamplerParams(k=1, h=1, seed=2)
+        )
+        assert "messages=" in dist.summary()
+
+
+class TestTraceApi:
+    @pytest.fixture(scope="class")
+    def trace(self) -> SamplerTrace:
+        from repro.graphs import erdos_renyi
+
+        return build_spanner(
+            erdos_renyi(60, 0.15, seed=4), SamplerParams(k=2, h=2, seed=5)
+        ).trace
+
+    def test_signature_is_stable(self, trace):
+        assert trace.signature() == trace.signature()
+
+    def test_total_queries_positive(self, trace):
+        assert trace.total_queries > 0
+
+    def test_level_accessor(self, trace):
+        assert trace.level(0).level == 0
+        assert trace.level(2).level == 2
+
+    def test_node_trace_flags(self, trace):
+        node = next(iter(trace.level(0).nodes.values()))
+        assert node.is_light != node.is_heavy or node.label.value == "stranded"
+
+
+class TestModelGuards:
+    def test_distributed_sampler_rejects_kt0(self):
+        from repro.graphs import erdos_renyi
+
+        net = erdos_renyi(20, 0.3, seed=1).with_knowledge(Knowledge.KT0)
+        with pytest.raises(ProtocolError):
+            build_spanner_distributed(net, SamplerParams(k=1, h=1, seed=1))
+
+    def test_distributed_sampler_accepts_kt1(self):
+        from repro.graphs import erdos_renyi
+
+        base = erdos_renyi(30, 0.25, seed=1)
+        net = base.with_knowledge(Knowledge.KT1)
+        dist = build_spanner_distributed(net, SamplerParams(k=1, h=1, seed=1))
+        cen = build_spanner(base, SamplerParams(k=1, h=1, seed=1))
+        assert dist.edges == cen.edges  # extra knowledge changes nothing

@@ -1,0 +1,78 @@
+"""Tests for the benchmark harness plumbing and the fast experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import EXPERIMENTS, TableResult, format_table, run_experiment
+from repro.bench.harness import main
+
+
+class TestTableResult:
+    def test_add_row_checks_arity(self):
+        table = TableResult("EX", "t", ["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = TableResult("EX", "t", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("a") == [1, 2]
+
+    def test_format_contains_everything(self):
+        table = TableResult("EX", "demo", ["name", "value"])
+        table.add_row("alpha", 12345)
+        table.add_note("a note")
+        rendered = format_table(table)
+        assert "EX: demo" in rendered
+        assert "alpha" in rendered
+        assert "12,345" in rendered
+        assert "note: a note" in rendered
+
+
+class TestRegistry:
+    def test_all_ten_registered(self):
+        assert len(EXPERIMENTS) == 10
+        assert all(f"E{i}" in EXPERIMENTS for i in range(1, 11))
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            run_experiment("E10", scale="huge")
+
+
+class TestFastExperiments:
+    """E4, E7, E10 are cheap enough to run inside the unit suite."""
+
+    def test_e4_rounds(self):
+        table = run_experiment("E4")
+        assert table.rows
+        assert all(row[2] == row[3] for row in table.rows)  # measured == schedule
+
+    def test_e7_tree_heights(self):
+        table = run_experiment("E7")
+        assert all(row[2] <= row[3] for row in table.rows)
+
+    def test_e10_peeling(self):
+        table = run_experiment("E10")
+        peel_row, naive_row = table.rows
+        assert peel_row[2] > 3 * naive_row[2]
+
+
+class TestHarnessCli:
+    def test_single_experiment(self, capsys, tmp_path):
+        out = tmp_path / "results.txt"
+        code = main(["--experiment", "E10", "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "E10" in captured
+        assert out.read_text().strip()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["--experiment", "E42"])

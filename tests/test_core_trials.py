@@ -1,0 +1,194 @@
+"""Unit tests for TrialMachine — the heart of Cluster_j's first step."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import SamplerParams
+from repro.core.trials import NodeLabel, QueryResult, TrialMachine
+from repro.errors import ProtocolError
+
+
+def make_machine(
+    edges,
+    *,
+    k=1,
+    h=2,
+    c_query=0.1,
+    c_target=0.4,
+    n=1024,
+    seed=5,
+    exhaustive=False,
+) -> TrialMachine:
+    params = SamplerParams(
+        k=k, h=h, c_query=c_query, c_target=c_target, seed=seed,
+        exhaustive_small_pools=exhaustive,
+    )
+    return TrialMachine(
+        vid=0,
+        level=0,
+        incident_edges=edges,
+        params=params,
+        n=n,
+        rng=random.Random(seed),
+    )
+
+
+def simple_results(queried, neighbor_of, bundles, active=lambda nbr: True):
+    return [
+        QueryResult(
+            eid=eid,
+            neighbor=neighbor_of(eid),
+            neighbor_edges=bundles[neighbor_of(eid)],
+            active=active(neighbor_of(eid)),
+        )
+        for eid in queried
+    ]
+
+
+class TestProtocol:
+    def test_deliver_without_trial_raises(self):
+        machine = make_machine([0, 1, 2])
+        with pytest.raises(ProtocolError):
+            machine.deliver([])
+
+    def test_double_begin_raises(self):
+        machine = make_machine(list(range(100)))
+        machine.begin_trial()
+        with pytest.raises(ProtocolError):
+            machine.begin_trial()
+
+    def test_label_mid_trial_raises(self):
+        machine = make_machine(list(range(100)))
+        machine.begin_trial()
+        with pytest.raises(ProtocolError):
+            _ = machine.label
+
+    def test_duplicate_incident_edges_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_machine([1, 1, 2])
+
+    def test_empty_pool_is_light_immediately(self):
+        machine = make_machine([])
+        assert not machine.wants_trial()
+        assert machine.label is NodeLabel.LIGHT
+        assert machine.spanner_edges == frozenset()
+
+
+class TestPeeling:
+    def test_parallel_edges_peeled(self):
+        # neighbor 1 owns edges 0..9; neighbor 2 owns edge 10
+        bundles = {1: tuple(range(10)), 2: (10,)}
+        neighbor_of = lambda eid: 1 if eid < 10 else 2
+        machine = make_machine(list(range(11)), exhaustive=True)
+        queried = machine.begin_trial()
+        machine.deliver(simple_results(queried, neighbor_of, bundles))
+        assert machine.pool_size == 0
+        assert machine.label is NodeLabel.LIGHT
+        # exactly one edge per neighbor, and it is the minimum queried one
+        assert machine.f_active == {1: 0, 2: 10}
+
+    def test_inactive_neighbor_not_in_f(self):
+        bundles = {1: (0, 1), 2: (2,)}
+        neighbor_of = lambda eid: 1 if eid < 2 else 2
+        machine = make_machine([0, 1, 2], exhaustive=True)
+        queried = machine.begin_trial()
+        machine.deliver(
+            simple_results(queried, neighbor_of, bundles, active=lambda nbr: nbr != 1)
+        )
+        assert machine.f_active == {2: 2}
+        assert machine.f_inactive == {1: 0}
+        assert machine.spanner_edges == frozenset({2})
+
+    def test_rediscovery_raises(self):
+        bundles = {1: (0,)}  # wrong: neighbor claims only edge 0, owns 0 and 1
+        machine = make_machine([0, 1], exhaustive=True)
+        queried = machine.begin_trial()
+        with pytest.raises(ProtocolError):
+            machine.deliver(
+                [
+                    QueryResult(eid=0, neighbor=1, neighbor_edges=(0,)),
+                    QueryResult(eid=1, neighbor=1, neighbor_edges=(0, 1)),
+                ]
+            )
+
+    def test_query_edge_missing_from_report_raises(self):
+        machine = make_machine([0], exhaustive=True)
+        machine.begin_trial()
+        with pytest.raises(ProtocolError):
+            machine.deliver([QueryResult(eid=0, neighbor=1, neighbor_edges=(5,))])
+
+
+class TestLabels:
+    def test_heavy_when_target_reached(self):
+        # many singleton neighbors; budget covers the target quickly
+        n_neighbors = 200
+        bundles = {i + 1: (i,) for i in range(n_neighbors)}
+        neighbor_of = lambda eid: eid + 1
+        machine = make_machine(list(range(n_neighbors)), c_query=0.2, c_target=0.3)
+        while machine.wants_trial():
+            queried = machine.begin_trial()
+            machine.deliver(simple_results(queried, neighbor_of, bundles))
+        assert machine.label is NodeLabel.HEAVY
+        assert len(machine.f_active) >= machine.target
+        assert machine.pool_size > 0
+
+    def test_light_when_pool_drains(self):
+        bundles = {i + 1: (i,) for i in range(5)}
+        neighbor_of = lambda eid: eid + 1
+        machine = make_machine(list(range(5)), exhaustive=True)
+        while machine.wants_trial():
+            queried = machine.begin_trial()
+            machine.deliver(simple_results(queried, neighbor_of, bundles))
+        assert machine.label is NodeLabel.LIGHT
+        assert len(machine.f_active) == 5
+
+    def test_stranded_when_budget_too_small(self):
+        # One heavy parallel neighbor hides everyone else and the budget
+        # is too small to find the target number of distinct neighbors.
+        heavy = 5000
+        bundles = {1: tuple(range(heavy))}
+        for i in range(60):
+            bundles[i + 2] = (heavy + i,)
+        neighbor_of = lambda eid: 1 if eid < heavy else eid - heavy + 2
+        machine = make_machine(
+            list(range(heavy + 60)), c_query=0.02, c_target=0.9, h=1
+        )
+        while machine.wants_trial():
+            queried = machine.begin_trial()
+            machine.deliver(simple_results(queried, neighbor_of, bundles))
+        assert machine.label is NodeLabel.STRANDED
+
+    def test_trials_capped_at_2h(self):
+        machine = make_machine(list(range(4000)), c_query=0.02, c_target=5.0, h=2)
+        bundles = {eid + 1: (eid,) for eid in range(4000)}
+        neighbor_of = lambda eid: eid + 1
+        while machine.wants_trial():
+            queried = machine.begin_trial()
+            machine.deliver(simple_results(queried, neighbor_of, bundles))
+        assert machine.trials_run <= 2 * 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_queries(self):
+        a = make_machine(list(range(500)), seed=9)
+        b = make_machine(list(range(500)), seed=9)
+        assert a.begin_trial() == b.begin_trial()
+
+    def test_different_seed_differs(self):
+        a = make_machine(list(range(500)), seed=9)
+        b = make_machine(list(range(500)), seed=10)
+        assert a.begin_trial() != b.begin_trial()
+
+    def test_stats_recorded(self):
+        machine = make_machine(list(range(50)), exhaustive=True)
+        queried = machine.begin_trial()
+        machine.deliver(
+            simple_results(queried, lambda e: e + 1, {e + 1: (e,) for e in range(50)})
+        )
+        stats = machine.stats[0]
+        assert stats.queried_eids == tuple(queried)
+        assert stats.new_neighbors == len(queried)
+        assert stats.peeled_edges == len(queried)

@@ -1,0 +1,93 @@
+"""Tests for the Figure-1 renderer, the global-task module, and examples."""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import runpy
+
+import pytest
+
+from repro.core import SamplerParams, build_spanner
+from repro.core.figure1 import render_level, render_run
+from repro.graphs import dense_gnm, erdos_renyi
+from repro.simulate.global_tasks import compute_global, elect_leader, graph_diameter
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+class TestFigure1Renderer:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        net = dense_gnm(40, 300, seed=4)
+        return build_spanner(net, SamplerParams(k=2, h=2, seed=12)).trace
+
+    def test_renders_every_level(self, trace):
+        text = render_run(trace)
+        for j in range(len(trace.levels)):
+            assert f"Cluster_{j}" in text
+
+    def test_panels_present(self, trace):
+        text = render_level(trace.levels[0], trace.params.k)
+        for panel in ("(a)", "(b)", "(c)", "(d)", "(e)", "(f)"):
+            assert panel in text
+
+    def test_final_level_has_no_contraction(self, trace):
+        text = render_level(trace.levels[-1], trace.params.k)
+        assert "final level" in text
+
+    def test_header_mentions_params(self, trace):
+        assert f"k={trace.params.k}" in render_run(trace)
+
+
+class TestGlobalTasks:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return erdos_renyi(50, 0.25, seed=5)
+
+    def test_diameter(self, net):
+        import networkx as nx
+
+        assert graph_diameter(net) == nx.diameter(net.to_networkx())
+
+    def test_diameter_rejects_disconnected(self, disconnected):
+        with pytest.raises(ValueError):
+            graph_diameter(disconnected)
+
+    def test_every_node_learns_global_max(self, net):
+        inputs = {v: (v * 37) % 101 for v in net.nodes()}
+        result = compute_global(
+            net, lambda known: max(known.values()), inputs=inputs, seed=2
+        )
+        expected = max(inputs.values())
+        assert all(out == expected for out in result.outputs.values())
+
+    def test_arbitrary_function_of_all_inputs(self, net):
+        result = compute_global(net, lambda known: sorted(known)[:3], seed=2)
+        assert all(out == [0, 1, 2] for out in result.outputs.values())
+
+    def test_leader_election(self, net):
+        result = elect_leader(net, seed=3)
+        assert all(out == 0 for out in result.outputs.values())
+        assert result.total_messages == (
+            result.construction_messages + result.flood_messages
+        )
+        assert result.total_rounds > 0
+
+
+class TestExamples:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_examples_compile(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_at_least_four_examples_exist(self):
+        assert len(EXAMPLES) >= 4
+
+    def test_figure1_example_runs(self, capsys):
+        example = next(p for p in EXAMPLES if "figure1" in p.name)
+        runpy.run_path(str(example), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "Cluster_0" in out
+        assert "final spanner" in out

@@ -1,0 +1,155 @@
+"""Tests for graph generators, the level multigraph, and contraction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    LevelMultigraph,
+    barabasi_albert,
+    caveman,
+    complete_graph,
+    contract,
+    dense_gnm,
+    erdos_renyi,
+    grid,
+    hypercube,
+    random_regular,
+    torus,
+)
+from repro.graphs.contraction import contraction_census
+
+
+class TestGenerators:
+    def test_erdos_renyi_connected(self):
+        net = erdos_renyi(80, 0.05, seed=2)
+        assert nx.is_connected(net.to_networkx())
+
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi(50, 0.1, seed=7)
+        b = erdos_renyi(50, 0.1, seed=7)
+        assert a.edge_ids == b.edge_ids
+
+    def test_dense_gnm_exact_m_or_connected(self):
+        net = dense_gnm(40, 200, seed=1)
+        assert net.m >= 200  # ensure_connected may add a few
+        assert net.m <= 210
+
+    def test_dense_gnm_rejects_overfull(self):
+        with pytest.raises(ConfigurationError):
+            dense_gnm(10, 100)
+
+    def test_random_regular(self):
+        net = random_regular(20, 4, seed=1)
+        degrees = [net.degree(v) for v in net.nodes()]
+        assert all(d >= 4 for d in degrees)  # ensure_connected may add edges
+        assert sum(degrees) >= 80
+
+    def test_random_regular_parity(self):
+        with pytest.raises(ConfigurationError):
+            random_regular(7, 3)
+
+    def test_hypercube(self):
+        net = hypercube(4)
+        assert net.n == 16
+        assert net.m == 32
+        assert all(net.degree(v) == 4 for v in net.nodes())
+
+    def test_grid_and_torus(self):
+        g = grid(3, 4)
+        t = torus(3, 4)
+        assert g.n == t.n == 12
+        assert g.m == 17
+        assert t.m == 24
+        assert all(t.degree(v) == 4 for v in t.nodes())
+
+    def test_complete(self):
+        net = complete_graph(10)
+        assert net.m == 45
+
+    def test_barabasi_albert(self):
+        net = barabasi_albert(50, 3, seed=1)
+        assert net.n == 50
+        assert nx.is_connected(net.to_networkx())
+
+    def test_caveman(self):
+        net = caveman(4, 5)
+        assert net.n == 20
+        assert nx.is_connected(net.to_networkx())
+
+
+class TestLevelMultigraph:
+    def test_level_zero(self, triangle):
+        level = LevelMultigraph.level_zero(triangle)
+        assert level.num_nodes == 3
+        assert level.num_edges == 3
+        assert level.neighbors(0) == [1, 2]
+        assert level.volume(0) == 2
+        assert level.degree(0) == 2
+
+    def test_edges_between(self):
+        level = LevelMultigraph({0: {1: [3, 5]}, 2: {1: [7]}})
+        assert level.edges_between(0, 1) == (3, 5)
+        assert level.edges_between(1, 0) == (3, 5)
+        assert level.edges_between(0, 2) == ()
+        assert level.incident_edges(1) == [3, 5, 7]
+        assert level.volume(1) == 3
+
+    def test_edge_endpoints(self):
+        level = LevelMultigraph({0: {1: [3]}})
+        assert level.edge_endpoints(3) == (0, 1)
+        assert level.virtual_neighbor_via(0, 3) == 1
+        assert level.virtual_neighbor_via(1, 3) == 0
+        with pytest.raises(ConfigurationError):
+            level.virtual_neighbor_via(2, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ConfigurationError):
+            LevelMultigraph({0: {0: [1]}})
+
+    def test_rejects_edge_in_two_pairs(self):
+        with pytest.raises(ConfigurationError):
+            LevelMultigraph({0: {1: [3]}, 2: {4: [3]}})
+
+    def test_max_volume(self):
+        level = LevelMultigraph({0: {1: [1, 2, 3]}, 4: {1: [5]}})
+        assert level.max_volume() == 4  # node 1 carries all four edges
+
+
+class TestContraction:
+    def test_hand_example(self):
+        # square 0-1-2-3 (edge ids 0..3 around) + diagonal 1-3 (id 4)
+        level = LevelMultigraph(
+            {0: {1: [0], 3: [3]}, 1: {2: [1], 3: [4]}, 2: {3: [2]}}
+        )
+        # clusters {0,1} -> A=0 and {2,3} -> B=2
+        assignment = {0: 0, 1: 0, 2: 2, 3: 2}
+        contracted = contract(level, assignment)
+        assert contracted.num_nodes == 2
+        assert sorted(contracted.edges_between(0, 2)) == [1, 3, 4]
+        census = contraction_census(level, assignment)
+        assert census.survived == 3
+        assert census.became_intra == 2
+        assert census.lost_to_unclustered == 0
+        assert census.total == 5
+
+    def test_unclustered_edges_drop(self):
+        level = LevelMultigraph({0: {1: [0], 2: [1]}})
+        contracted = contract(level, {0: 0})  # 1 and 2 unclustered
+        assert contracted.num_nodes == 1
+        assert contracted.num_edges == 0
+        census = contraction_census(level, {0: 0})
+        assert census.lost_to_unclustered == 2
+
+    def test_multiplicities_accumulate(self, dense_small):
+        level = LevelMultigraph.level_zero(dense_small)
+        assignment = {v: v % 4 for v in range(dense_small.n)}
+        contracted = contract(level, assignment)
+        assert contracted.num_nodes == 4
+        census = contraction_census(level, assignment)
+        assert census.total == dense_small.m
+        assert contracted.num_edges == census.survived
+        # K40 in 4 buckets of 10: intra = 4 * C(10,2) = 180
+        assert census.became_intra == 180

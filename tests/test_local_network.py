@@ -1,0 +1,115 @@
+"""Tests for Network, EdgeRef and the knowledge model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import erdos_renyi
+from repro.local import EdgeRef, Knowledge, Network
+
+
+class TestEdgeRef:
+    def test_canonical_orientation(self):
+        edge = EdgeRef(0, 5, 2)
+        assert (edge.u, edge.v) == (2, 5)
+
+    def test_other(self):
+        edge = EdgeRef(0, 1, 2)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+        with pytest.raises(ValueError):
+            edge.other(3)
+
+    def test_loop_detection(self):
+        assert EdgeRef(0, 3, 3).is_loop()
+        assert not EdgeRef(0, 3, 4).is_loop()
+
+
+class TestNetworkConstruction:
+    def test_from_edge_pairs(self, path4):
+        assert path4.n == 4
+        assert path4.m == 3
+        assert path4.incident(1) == (0, 1)
+        assert path4.degree(0) == 1
+
+    def test_duplicate_edge_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(2, [EdgeRef(0, 0, 1), EdgeRef(0, 1, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(2, [EdgeRef(0, 1, 1)])
+
+    def test_endpoint_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(2, [EdgeRef(0, 0, 5)])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(0, [])
+
+    def test_from_graph_is_deterministic(self):
+        a = erdos_renyi(30, 0.2, seed=9)
+        b = erdos_renyi(30, 0.2, seed=9)
+        assert a.edge_ids == b.edge_ids
+        assert [a.endpoints(e) for e in a.edge_ids] == [
+            b.endpoints(e) for e in b.edge_ids
+        ]
+
+    def test_to_networkx_roundtrip(self, er_small):
+        g = er_small.to_networkx()
+        again = Network.from_graph(g)
+        assert again.n == er_small.n
+        assert again.m == er_small.m
+
+
+class TestNetworkAccessors:
+    def test_other_end(self, path4):
+        eid = path4.incident(0)[0]
+        assert path4.other_end(eid, 0) == 1
+
+    def test_neighbors(self, triangle):
+        assert sorted(triangle.neighbors(0)) == [1, 2]
+
+    def test_incident_sorted(self, star6):
+        assert list(star6.incident(0)) == sorted(star6.incident(0))
+
+    def test_adjacency(self, triangle):
+        adj = triangle.adjacency()
+        assert sorted(adj[1]) == [0, 2]
+
+
+class TestSubnetwork:
+    def test_preserves_edge_ids(self, er_small):
+        keep = list(er_small.edge_ids)[::2]
+        sub = er_small.subnetwork(keep)
+        assert sub.n == er_small.n
+        assert set(sub.edge_ids) == set(keep)
+        for eid in keep:
+            assert sub.endpoints(eid) == er_small.endpoints(eid)
+
+    def test_unknown_edge_rejected(self, path4):
+        with pytest.raises(ConfigurationError):
+            path4.subnetwork([999])
+
+    def test_empty_subnetwork(self, path4):
+        sub = path4.subnetwork([])
+        assert sub.m == 0
+        assert sub.n == 4
+
+
+class TestKnowledge:
+    def test_default_is_edge_ids(self, path4):
+        assert path4.knowledge is Knowledge.EDGE_IDS
+
+    def test_with_knowledge(self, path4):
+        kt1 = path4.with_knowledge(Knowledge.KT1)
+        assert kt1.knowledge is Knowledge.KT1
+        assert kt1.m == path4.m
+
+    def test_exposure_flags(self):
+        assert not Knowledge.KT0.exposes_edge_ids
+        assert Knowledge.EDGE_IDS.exposes_edge_ids
+        assert not Knowledge.EDGE_IDS.exposes_neighbor_ids
+        assert Knowledge.KT1.exposes_neighbor_ids

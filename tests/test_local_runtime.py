@@ -1,0 +1,235 @@
+"""Tests for the synchronous round engine and the Context API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError, SimulationError
+from repro.local import FaultPlan, Knowledge, Network, NodeProgram
+from repro.local.runtime import run_program
+
+
+class Echo(NodeProgram):
+    """Sends 'ping' on all ports at start; records what it receives."""
+
+    def __init__(self, rounds: int = 1) -> None:
+        self.rounds = rounds
+        self.received: list[tuple[int, str]] = []
+        self._r = 0
+
+    def on_start(self, ctx):
+        for port in ctx.ports:
+            ctx.send(port, "ping", tag="test")
+
+    def on_round(self, ctx, inbox):
+        self._r += 1
+        for msg in inbox:
+            self.received.append((msg.port, msg.payload))
+        if self._r >= self.rounds:
+            ctx.halt()
+
+    def output(self):
+        return tuple(self.received)
+
+
+class TestDelivery:
+    def test_messages_arrive_next_round(self, path4):
+        report = run_program(path4, lambda n: Echo(), seed=0)
+        assert report.rounds == 1
+        # every edge delivers one ping in each direction
+        assert report.messages.total == 2 * path4.m
+        total_received = sum(len(out) for out in report.outputs.values())
+        assert total_received == 2 * path4.m
+
+    def test_message_conservation(self, er_small):
+        report = run_program(er_small, lambda n: Echo(), seed=0)
+        received = sum(len(out) for out in report.outputs.values())
+        assert received == report.messages.total
+
+    def test_per_round_counters(self, path4):
+        report = run_program(path4, lambda n: Echo(), seed=0)
+        assert sum(report.messages.per_round) == report.messages.total
+        assert report.messages.by_tag["test"] == report.messages.total
+
+
+class TestTermination:
+    def test_all_halted_stops_run(self, path4):
+        report = run_program(path4, lambda n: Echo(rounds=3), seed=0)
+        assert report.halted
+        assert report.rounds == 3
+
+    def test_max_rounds_raises(self, path4):
+        class Chatter(NodeProgram):
+            def on_start(self, ctx):
+                for port in ctx.ports:
+                    ctx.send(port, 0)
+
+            def on_round(self, ctx, inbox):
+                for port in ctx.ports:
+                    ctx.send(port, 0)
+
+        with pytest.raises(SimulationError):
+            run_program(path4, lambda n: Chatter(), seed=0, max_rounds=5)
+
+    def test_fixed_rounds(self, path4):
+        class Quiet(NodeProgram):
+            def on_round(self, ctx, inbox):
+                pass
+
+        report = run_program(path4, lambda n: Quiet(), seed=0, fixed_rounds=4)
+        assert report.rounds == 4
+        assert not report.halted
+
+
+class TestHaltSemantics:
+    def test_send_after_halt_raises(self, path4):
+        class Bad(NodeProgram):
+            def on_start(self, ctx):
+                ctx.halt()
+                ctx.send(ctx.ports[0], "x")
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        with pytest.raises(ProtocolError):
+            run_program(path4, lambda n: Bad(), seed=0)
+
+    def test_reactive_halt_still_receives(self):
+        net = Network.from_edge_pairs(2, [(0, 1)])
+
+        class Responder(NodeProgram):
+            woke = 0
+
+            def on_start(self, ctx):
+                ctx.halt(reactive=True)
+
+            def on_round(self, ctx, inbox):
+                if inbox:
+                    Responder.woke += 1
+                    ctx.send(inbox[0].port, "reply")
+
+        class Asker(NodeProgram):
+            def __init__(self):
+                self.got = None
+
+            def on_start(self, ctx):
+                ctx.send(ctx.ports[0], "ask")
+
+            def on_round(self, ctx, inbox):
+                for msg in inbox:
+                    self.got = msg.payload
+                    ctx.halt()
+
+            def output(self):
+                return self.got
+
+        Responder.woke = 0
+        report = run_program(
+            net, lambda n: Asker() if n == 0 else Responder(), seed=0
+        )
+        assert Responder.woke == 1
+        assert report.outputs[0] == "reply"
+
+
+class TestContextKnowledge:
+    def test_send_on_foreign_port_raises(self, path4):
+        class Bad(NodeProgram):
+            def on_start(self, ctx):
+                ctx.send(9999, "x")
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        with pytest.raises(ProtocolError):
+            run_program(path4, lambda n: Bad(), seed=0)
+
+    def test_kt0_hides_edge_ids(self, path4):
+        net = path4.with_knowledge(Knowledge.KT0)
+        seen: dict[int, tuple[int, ...]] = {}
+
+        class Peek(NodeProgram):
+            def __init__(self, node):
+                self.node = node
+
+            def on_start(self, ctx):
+                seen[self.node] = ctx.ports
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        run_program(net, lambda n: Peek(n), seed=0)
+        # node 1 has degree 2; KT0 ports are local indices 0..deg-1
+        assert seen[1] == (0, 1)
+
+    def test_kt1_exposes_neighbor(self, path4):
+        net = path4.with_knowledge(Knowledge.KT1)
+        found = {}
+
+        class Peek(NodeProgram):
+            def __init__(self, node):
+                self.node = node
+
+            def on_start(self, ctx):
+                found[self.node] = sorted(ctx.neighbor(p) for p in ctx.ports)
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        run_program(net, lambda n: Peek(n), seed=0)
+        assert found[1] == [0, 2]
+
+    def test_edge_ids_mode_hides_neighbor(self, path4):
+        class Peek(NodeProgram):
+            def on_start(self, ctx):
+                with pytest.raises(ProtocolError):
+                    ctx.neighbor(ctx.ports[0])
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        run_program(path4, lambda n: Peek(), seed=0)
+
+    def test_node_rng_deterministic(self, path4):
+        draws: dict[int, float] = {}
+
+        class Draw(NodeProgram):
+            def __init__(self, node):
+                self.node = node
+
+            def on_start(self, ctx):
+                draws[self.node] = ctx.rng.random()
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        run_program(path4, lambda n: Draw(n), seed=5)
+        first = dict(draws)
+        draws.clear()
+        run_program(path4, lambda n: Draw(n), seed=5)
+        assert draws == first
+        draws.clear()
+        run_program(path4, lambda n: Draw(n), seed=6)
+        assert draws != first
+
+
+class TestFaults:
+    def test_rule_based_drop(self, path4):
+        plan = FaultPlan(rule=lambda round_index, eid: True)
+        report = run_program(path4, lambda n: Echo(), seed=0, faults=plan)
+        assert report.messages.total == 0
+        assert report.messages.dropped == 2 * path4.m
+
+    def test_probabilistic_drop_is_deterministic(self, er_small):
+        plan = FaultPlan(drop_probability=0.5, seed=3)
+        r1 = run_program(er_small, lambda n: Echo(), seed=0, faults=plan)
+        r2 = run_program(er_small, lambda n: Echo(), seed=0, faults=plan)
+        assert r1.messages.dropped == r2.messages.dropped
+        assert 0 < r1.messages.dropped < 2 * er_small.m
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_probability=1.5)

@@ -1,0 +1,56 @@
+"""Property-based test of the simulation theorem (Section 6).
+
+For random graphs, random seeds, and a random radius, the scheme's
+outputs must equal direct execution — this is the paper's correctness
+claim quantified over the input space rather than hand-picked cases.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms import BallCollect, MinIdAggregation, run_direct
+from repro.core import SamplerParams, build_spanner
+from repro.graphs import dense_gnm
+from repro.simulate import simulate_over_spanner
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_and_seed(draw):
+    n = draw(st.integers(min_value=5, max_value=30))
+    m = draw(st.integers(min_value=n - 1, max_value=n * (n - 1) // 2))
+    gseed = draw(st.integers(min_value=0, max_value=500))
+    seed = draw(st.integers(min_value=0, max_value=500))
+    return dense_gnm(n, m, seed=gseed), seed
+
+
+class TestSimulationTheorem:
+    @_SETTINGS
+    @given(gs=graph_and_seed(), t=st.integers(min_value=0, max_value=3))
+    def test_ball_collect_replays_exactly(self, gs, t):
+        net, seed = gs
+        spanner = build_spanner(net, SamplerParams(k=1, h=2, seed=seed))
+        algo = BallCollect(t)
+        direct = run_direct(net, algo, seed=seed)
+        sim = simulate_over_spanner(
+            net, spanner.edges, spanner.stretch_bound, algo, seed=seed
+        )
+        assert sim.outputs == direct.outputs
+
+    @_SETTINGS
+    @given(gs=graph_and_seed(), t=st.integers(min_value=1, max_value=4))
+    def test_min_id_replays_exactly(self, gs, t):
+        net, seed = gs
+        spanner = build_spanner(net, SamplerParams(k=1, h=1, seed=seed))
+        algo = MinIdAggregation(t)
+        direct = run_direct(net, algo, seed=seed)
+        sim = simulate_over_spanner(
+            net, spanner.edges, spanner.stretch_bound, algo, seed=seed
+        )
+        assert sim.outputs == direct.outputs

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the parts of the system where hand-picked cases are weakest:
+random graphs x random seeds for the spanner guarantees, random
+multigraph neighborhoods for the trial machine, and random cluster
+assignments for contraction conservation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.stretch import adjacent_pair_stretch
+from repro.core import SamplerParams, build_spanner
+from repro.core.trials import NodeLabel, QueryResult, TrialMachine
+from repro.graphs import LevelMultigraph, contract, dense_gnm
+from repro.graphs.contraction import contraction_census
+from repro.local.network import Network
+from repro.rng import RngFactory
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# random inputs
+# ---------------------------------------------------------------------------
+@st.composite
+def small_network(draw) -> Network:
+    n = draw(st.integers(min_value=4, max_value=40))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=n - 1, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return dense_gnm(n, m, seed=seed)
+
+
+@st.composite
+def neighborhood(draw):
+    """A multigraph neighborhood: neighbor id -> bundle of edge ids."""
+    n_neighbors = draw(st.integers(min_value=0, max_value=12))
+    bundles: dict[int, tuple[int, ...]] = {}
+    next_eid = 0
+    for i in range(n_neighbors):
+        mult = draw(st.integers(min_value=1, max_value=30))
+        bundles[i + 1] = tuple(range(next_eid, next_eid + mult))
+        next_eid += mult
+    return bundles
+
+
+# ---------------------------------------------------------------------------
+# spanner invariants
+# ---------------------------------------------------------------------------
+class TestSpannerProperties:
+    @_SETTINGS
+    @given(net=small_network(), seed=st.integers(min_value=0, max_value=1000))
+    def test_spanner_invariants(self, net: Network, seed: int):
+        params = SamplerParams(k=1, h=2, seed=seed)
+        result = build_spanner(net, params)
+        assert result.edges <= set(net.edge_ids)
+        report = adjacent_pair_stretch(net, result.edges)
+        assert report.unreachable_pairs == 0
+        assert report.max_stretch <= result.stretch_bound
+
+    @_SETTINGS
+    @given(net=small_network(), seed=st.integers(min_value=0, max_value=1000))
+    def test_k2_spanner_invariants(self, net: Network, seed: int):
+        params = SamplerParams(k=2, h=1, seed=seed, c_query=0.6, c_target=0.8)
+        result = build_spanner(net, params)
+        report = adjacent_pair_stretch(net, result.edges)
+        assert report.unreachable_pairs == 0
+        assert report.max_stretch <= result.stretch_bound
+        # populations never grow level over level
+        pops = result.trace.populations
+        assert all(a >= b for a, b in zip(pops, pops[1:]))
+
+
+# ---------------------------------------------------------------------------
+# trial machine invariants
+# ---------------------------------------------------------------------------
+class TestTrialMachineProperties:
+    @_SETTINGS
+    @given(bundles=neighborhood(), seed=st.integers(min_value=0, max_value=500))
+    def test_machine_terminates_with_consistent_state(self, bundles, seed):
+        edges = sorted(e for bundle in bundles.values() for e in bundle)
+        neighbor_of = {e: nbr for nbr, bundle in bundles.items() for e in bundle}
+        params = SamplerParams(k=1, h=2, c_query=0.15, c_target=0.5, seed=seed)
+        machine = TrialMachine(
+            vid=0,
+            level=0,
+            incident_edges=edges,
+            params=params,
+            n=256,
+            rng=random.Random(seed),
+        )
+        pool_sizes = [machine.pool_size]
+        while machine.wants_trial():
+            queried = machine.begin_trial()
+            assert queried == sorted(set(queried))
+            assert set(queried) <= set(edges)
+            machine.deliver(
+                [
+                    QueryResult(
+                        eid=eid,
+                        neighbor=neighbor_of[eid],
+                        neighbor_edges=bundles[neighbor_of[eid]],
+                    )
+                    for eid in queried
+                ]
+            )
+            pool_sizes.append(machine.pool_size)
+        # pool shrinks monotonically
+        assert all(a >= b for a, b in zip(pool_sizes, pool_sizes[1:]))
+        # one F edge per discovered neighbor, each from the right bundle
+        for nbr, eid in machine.f_active.items():
+            assert eid in bundles[nbr]
+        # terminal label is consistent with the machine state
+        label = machine.label
+        if label is NodeLabel.LIGHT:
+            assert machine.pool_size == 0
+            assert set(machine.f_active) == set(bundles)
+        elif label is NodeLabel.HEAVY:
+            assert len(machine.f_active) >= machine.target
+        else:
+            assert machine.trials_run == params.trials
+
+    @_SETTINGS
+    @given(bundles=neighborhood(), seed=st.integers(min_value=0, max_value=500))
+    def test_machine_is_deterministic(self, bundles, seed):
+        def run():
+            edges = sorted(e for bundle in bundles.values() for e in bundle)
+            neighbor_of = {e: n for n, b in bundles.items() for e in b}
+            params = SamplerParams(k=1, h=1, c_query=0.2, c_target=0.5, seed=seed)
+            machine = TrialMachine(
+                vid=3, level=0, incident_edges=edges, params=params, n=128,
+                rng=RngFactory(seed).stream("trials", 0, 3),
+            )
+            while machine.wants_trial():
+                queried = machine.begin_trial()
+                machine.deliver(
+                    [
+                        QueryResult(e, neighbor_of[e], bundles[neighbor_of[e]])
+                        for e in queried
+                    ]
+                )
+            return machine.f_active, machine.label
+
+        assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# contraction conservation
+# ---------------------------------------------------------------------------
+class TestContractionProperties:
+    @_SETTINGS
+    @given(
+        net=small_network(),
+        n_clusters=st.integers(min_value=1, max_value=6),
+        drop=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_census_conserves_edges(self, net, n_clusters, drop, seed):
+        level = LevelMultigraph.level_zero(net)
+        rng = random.Random(seed)
+        assignment = {}
+        for v in level.nodes():
+            if rng.random() >= drop:
+                assignment[v] = rng.randrange(n_clusters)
+        census = contraction_census(level, assignment)
+        assert census.total == net.m
+        contracted = contract(level, assignment)
+        assert contracted.num_edges == census.survived
+        # every surviving edge connects two distinct clusters
+        for v in contracted.nodes():
+            assert v not in contracted.neighbors(v)
