@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run the full benchmark surface: the paper's experiment tables (quick
+# scale) followed by the perf-regression kernels checked against the
+# committed BENCH_core.json.  Exits non-zero if any experiment fails its
+# built-in assertions or any perf kernel regresses by more than 25%.
+#
+# Usage:  benchmarks/run_all.sh [--scale quick|full]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+SCALE="quick"
+if [[ "${1:-}" == "--scale" && -n "${2:-}" ]]; then
+    SCALE="$2"
+fi
+
+echo "== experiments (scale=$SCALE) =="
+python -m repro.bench --experiment all --scale "$SCALE"
+
+echo
+echo "== perf kernels vs committed BENCH_core.json =="
+python -m repro.bench --perf --check

@@ -5,6 +5,8 @@ Examples::
     python -m repro.bench --experiment E3
     python -m repro.bench --experiment all --scale quick
     python -m repro.bench --experiment all --scale full --out results.txt
+    python -m repro.bench --perf                    # time kernels, write BENCH_core.json
+    python -m repro.bench --perf --check            # fail on >25% regression
 """
 
 from __future__ import annotations
@@ -17,6 +19,14 @@ from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.tables import format_table
 
 __all__ = ["main"]
+
+
+def _experiment_key(name: str) -> tuple[int, object]:
+    """Natural sort: E2 before E10; unknown shapes sort last, lexicographically."""
+    suffix = name[1:]
+    if name[:1].upper() == "E" and suffix.isdigit():
+        return (0, int(suffix))
+    return (1, name)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,11 +53,41 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also append the rendered tables to this file",
     )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="run the perf-regression kernels instead of the experiments",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="with --perf: compare against the committed bench file and "
+        "exit non-zero on any >25%% regression (does not overwrite it)",
+    )
+    parser.add_argument(
+        "--bench-file",
+        default=None,
+        help="perf baseline path (default: BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--update-readme",
+        action="store_true",
+        help="with --perf: regenerate the README's Performance section",
+    )
     args = parser.parse_args(argv)
 
-    names = sorted(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
-    # Sort E10 after E9 (lexicographic would put E10 second).
-    names.sort(key=lambda s: int(s[1:]) if s[1:].isdigit() else 99)
+    if args.perf:
+        from repro.bench.perf import BENCH_FILE, main_perf
+
+        if args.bench_file is None:
+            args.bench_file = BENCH_FILE
+        return main_perf(args)
+
+    names = (
+        sorted(EXPERIMENTS, key=_experiment_key)
+        if args.experiment.lower() == "all"
+        else [args.experiment]
+    )
 
     chunks: list[str] = []
     failures = 0

@@ -1,0 +1,291 @@
+"""The performance-regression harness (``python -m repro.bench --perf``).
+
+Times the simulator's hot kernels — centralized spanner construction on
+three graph families × three sizes, plus the end-to-end two-stage
+message-reduction scheme on each family — and records the results in
+``BENCH_core.json`` at the repo root.  Every future PR then has a
+trajectory to beat:
+
+* ``--perf``            run the suite, print a table, write the JSON;
+* ``--perf --check``    run the suite and exit non-zero if any kernel is
+  more than :data:`REGRESSION_TOLERANCE` slower than the committed file;
+* ``--perf --update-readme``  regenerate the README's Performance
+  section from the freshly measured numbers.
+
+The flagship kernel (``spanner/gnp/n2000`` — ``G(n=2000)`` at average
+degree 8) is additionally timed under the seed recount strategy
+(``build_spanner(..., incremental=False)``) so the optimized/seed
+speedup is recorded alongside the absolute numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algorithms import BallCollect
+from repro.core import SamplerParams, build_spanner
+from repro.graphs import barabasi_albert, erdos_renyi, torus
+from repro.local.network import Network
+from repro.simulate import run_two_stage
+
+__all__ = [
+    "BENCH_FILE",
+    "REGRESSION_TOLERANCE",
+    "run_perf_suite",
+    "check_against",
+    "format_report",
+    "render_readme_section",
+    "update_readme",
+]
+
+BENCH_FILE = "BENCH_core.json"
+REGRESSION_TOLERANCE = 0.25  # fail --check beyond +25% on any kernel
+FLAGSHIP = "spanner/gnp/n2000"
+
+_SPANNER_PARAMS = SamplerParams(k=2, h=2, seed=1)
+_SCHEME_PARAMS = SamplerParams(k=1, h=3, seed=19, c_query=0.7, c_target=1.0)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One timed unit of work: ``build()`` makes the input (untimed),
+    ``run(input)`` is the measured body."""
+
+    name: str
+    build: Callable[[], Network]
+    run: Callable[[Network], object]
+    repeats: int = 5  # best-of; sub-100ms kernels need the extra samples
+
+
+def _gnp(n: int) -> Network:
+    return erdos_renyi(n, 8 / (n - 1), seed=1)
+
+
+def _spanner(net: Network) -> object:
+    return build_spanner(net, _SPANNER_PARAMS)
+
+
+def _spanner_reference(net: Network) -> object:
+    return build_spanner(net, _SPANNER_PARAMS, incremental=False)
+
+
+def _two_stage(net: Network) -> object:
+    return run_two_stage(
+        net, BallCollect(2), stage1_params=_SCHEME_PARAMS, stage2_k=3, seed=33
+    )
+
+
+def default_kernels() -> list[Kernel]:
+    """3 graph families × 3 sizes of spanner construction, plus the
+    full two-stage scheme (distributed stage 1 + both simulations) on a
+    small instance of each family."""
+    kernels: list[Kernel] = []
+    for n in (500, 1000, 2000):
+        kernels.append(Kernel(f"spanner/gnp/n{n}", lambda n=n: _gnp(n), _spanner))
+    for side in (16, 24, 32):
+        kernels.append(
+            Kernel(f"spanner/torus/{side}x{side}", lambda s=side: torus(s, s), _spanner)
+        )
+    for n in (500, 1000, 2000):
+        kernels.append(
+            Kernel(
+                f"spanner/ba/n{n}",
+                lambda n=n: barabasi_albert(n, 4, seed=1),
+                _spanner,
+            )
+        )
+    kernels.append(
+        Kernel(
+            "scheme/two_stage/gnp",
+            lambda: erdos_renyi(150, 0.18, seed=27),
+            _two_stage,
+            repeats=2,
+        )
+    )
+    kernels.append(
+        Kernel("scheme/two_stage/torus", lambda: torus(12, 12), _two_stage, repeats=2)
+    )
+    kernels.append(
+        Kernel(
+            "scheme/two_stage/ba",
+            lambda: barabasi_albert(160, 3, seed=5),
+            _two_stage,
+            repeats=2,
+        )
+    )
+    return kernels
+
+
+def _best_of(run: Callable[[Network], object], net: Network, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run(net)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_perf_suite(progress: Callable[[str], None] | None = None) -> dict:
+    """Time every kernel; returns the ``BENCH_core.json`` document."""
+    doc: dict = {"schema": 1, "suite": "core", "kernels": {}}
+    for kernel in default_kernels():
+        net = kernel.build()
+        seconds = _best_of(kernel.run, net, kernel.repeats)
+        doc["kernels"][kernel.name] = {
+            "seconds": round(seconds, 4),
+            "n": net.n,
+            "m": net.m,
+            "repeats": kernel.repeats,
+        }
+        if progress:
+            progress(f"{kernel.name}: {seconds:.3f}s (n={net.n}, m={net.m})")
+        if kernel.name == FLAGSHIP:
+            reference = _best_of(_spanner_reference, net, kernel.repeats)
+            doc["flagship"] = {
+                "kernel": FLAGSHIP,
+                "optimized_seconds": round(seconds, 4),
+                "reference_seconds": round(reference, 4),
+                "speedup": round(reference / seconds, 2),
+            }
+            if progress:
+                progress(
+                    f"{FLAGSHIP} seed-path reference: {reference:.3f}s "
+                    f"(speedup {reference / seconds:.2f}x)"
+                )
+    return doc
+
+
+def check_against(committed: dict, fresh: dict) -> list[str]:
+    """Regressions of ``fresh`` vs ``committed`` beyond the tolerance."""
+    problems: list[str] = []
+    for name, entry in committed.get("kernels", {}).items():
+        now = fresh["kernels"].get(name)
+        if now is None:
+            problems.append(f"{name}: kernel missing from fresh run")
+            continue
+        old = entry["seconds"]
+        new = now["seconds"]
+        if old > 0 and new > old * (1 + REGRESSION_TOLERANCE):
+            problems.append(
+                f"{name}: {new:.3f}s vs committed {old:.3f}s "
+                f"(+{(new / old - 1) * 100:.0f}%, tolerance "
+                f"{REGRESSION_TOLERANCE * 100:.0f}%)"
+            )
+    return problems
+
+
+def format_report(doc: dict) -> str:
+    lines = ["== perf: core kernels =="]
+    width = max(len(name) for name in doc["kernels"])
+    for name, entry in doc["kernels"].items():
+        lines.append(
+            f"  {name:<{width}}  {entry['seconds']:8.3f}s   "
+            f"n={entry['n']:<6} m={entry['m']}"
+        )
+    flagship = doc.get("flagship")
+    if flagship:
+        lines.append(
+            f"  flagship {flagship['kernel']}: optimized "
+            f"{flagship['optimized_seconds']:.3f}s vs seed-path "
+            f"{flagship['reference_seconds']:.3f}s -> "
+            f"{flagship['speedup']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# README integration
+# ----------------------------------------------------------------------
+README_BEGIN = "<!-- BENCH_core:begin -->"
+README_END = "<!-- BENCH_core:end -->"
+
+
+def render_readme_section(doc: dict) -> str:
+    """The README's Performance block, generated from the bench doc."""
+    lines = [
+        README_BEGIN,
+        "",
+        "| kernel | n | m | best time |",
+        "|---|---:|---:|---:|",
+    ]
+    for name, entry in doc["kernels"].items():
+        lines.append(
+            f"| `{name}` | {entry['n']} | {entry['m']} | {entry['seconds']:.3f}s |"
+        )
+    flagship = doc.get("flagship")
+    if flagship:
+        lines.append("")
+        lines.append(
+            f"Flagship comparison on `{flagship['kernel']}`: the incremental "
+            f"flat-array path runs in {flagship['optimized_seconds']:.3f}s vs "
+            f"{flagship['reference_seconds']:.3f}s for the seed recount path — "
+            f"a **{flagship['speedup']:.2f}x** speedup on the same trace-"
+            f"identical output."
+        )
+    lines.append("")
+    lines.append(
+        "Regenerate with `PYTHONPATH=src python -m repro.bench --perf "
+        "--update-readme`; gate regressions with `--perf --check` "
+        "(fails beyond +25% on any kernel)."
+    )
+    lines.append(README_END)
+    return "\n".join(lines)
+
+
+def update_readme(doc: dict, readme_path: str = "README.md") -> bool:
+    """Replace the marked block in the README; returns True on success."""
+    try:
+        with open(readme_path, encoding="utf-8") as handle:
+            text = handle.read()
+    except FileNotFoundError:
+        return False
+    begin = text.find(README_BEGIN)
+    end = text.find(README_END)
+    if begin == -1 or end == -1:
+        return False
+    rebuilt = text[:begin] + render_readme_section(doc) + text[end + len(README_END):]
+    with open(readme_path, "w", encoding="utf-8") as handle:
+        handle.write(rebuilt)
+    return True
+
+
+def main_perf(args) -> int:
+    """Entry point used by ``repro.bench.harness`` for ``--perf``."""
+    doc = run_perf_suite(progress=lambda line: print(f"  .. {line}", flush=True))
+    sys.stdout.write(format_report(doc) + "\n")
+    if args.check:
+        try:
+            with open(args.bench_file, encoding="utf-8") as handle:
+                committed = json.load(handle)
+        except FileNotFoundError:
+            sys.stderr.write(
+                f"--check: no committed {args.bench_file}; run --perf first\n"
+            )
+            return 2
+        problems = check_against(committed, doc)
+        if problems:
+            sys.stderr.write("perf regressions detected:\n")
+            for problem in problems:
+                sys.stderr.write(f"  {problem}\n")
+            return 1
+        sys.stdout.write(
+            f"perf check OK: no kernel regressed beyond "
+            f"{REGRESSION_TOLERANCE * 100:.0f}% of {args.bench_file}\n"
+        )
+        return 0
+    with open(args.bench_file, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    sys.stdout.write(f"wrote {args.bench_file}\n")
+    if args.update_readme:
+        if update_readme(doc):
+            sys.stdout.write("updated README.md Performance section\n")
+        else:
+            sys.stderr.write("README.md markers not found; section not updated\n")
+    return 0

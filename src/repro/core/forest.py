@@ -29,7 +29,10 @@ class ClusterForest:
         self._network = network
         self._parent: dict[int, tuple[int, int]] = {}  # phys -> (parent phys, eid)
         self._members: dict[int, list[int]] = {v: [v] for v in network.nodes()}
-        self._root_of: dict[int, int] = {v: v for v in network.nodes()}
+        # Flat union-find-style array: _root_of[phys] -> current cluster id.
+        # Kept eagerly exact on attach (no path compression needed), so
+        # hot paths may index it directly via :attr:`root_of`.
+        self._root_of: list[int] = list(network.nodes())
 
     # ------------------------------------------------------------------
     def members(self, cid: int) -> list[int]:
@@ -42,6 +45,11 @@ class ClusterForest:
     def cluster_of(self, phys: int) -> int:
         """The root id of the cluster currently containing ``phys``."""
         return self._root_of[phys]
+
+    @property
+    def root_of(self) -> list[int]:
+        """The flat phys -> cluster-id array (runtime-side; do not mutate)."""
+        return self._root_of
 
     def cluster_ids(self) -> list[int]:
         return sorted(self._members)
@@ -86,6 +94,36 @@ class ClusterForest:
 
     def heights(self) -> dict[int, int]:
         return {cid: self.tree(cid).height for cid in self._members}
+
+    def heights_of(self, cids) -> dict[int, int]:
+        """Tree heights for ``cids`` via one memoized-depth sweep.
+
+        Equivalent to ``{cid: self.tree(cid).height for cid in cids}``
+        but O(total members) instead of one BFS per cluster: each
+        physical node's depth is found by chasing parent pointers until
+        a node with a known depth, then the chased path is backfilled.
+        """
+        parent = self._parent
+        depth: dict[int, int] = {}
+        heights: dict[int, int] = {}
+        for cid in cids:
+            depth[cid] = 0
+            top = 0
+            for phys in self._members[cid]:
+                path: list[int] = []
+                node = phys
+                d = depth.get(node)
+                while d is None:
+                    path.append(node)
+                    node = parent[node][0]
+                    d = depth.get(node)
+                for hop in reversed(path):
+                    d += 1
+                    depth[hop] = d
+                if d > top:
+                    top = d
+            heights[cid] = top
+        return heights
 
     # ------------------------------------------------------------------
     def _reroot(self, old_root: int, new_root: int) -> None:

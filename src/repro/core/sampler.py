@@ -19,6 +19,22 @@ finished clusters that never announced (only possible for the rare
 ``STRANDED`` label) remain in ``X_v`` and are discovered and peeled via
 an ``active=False`` query response.
 
+Two execution strategies produce bit-identical traces (the
+``test_perf_contracts`` suite enforces this):
+
+* **incremental** (the default): each cluster's dedup'd pool is carried
+  across levels and merged by symmetric difference on
+  :meth:`ClusterForest.attach` — an edge appearing in both merging pools
+  has both endpoint-incidences inside the merged cluster, i.e. it became
+  intra-cluster and cancels.  Finish announcements accumulate in
+  per-cluster ``dead`` sets (unioned on merge) and are subtracted only
+  when ``X_v`` is read.  Cluster lookups and edge endpoints come from
+  flat arrays (``ClusterForest.root_of``, ``Network.endpoints_flat``).
+* **reference**: the seed implementation — recount every pool from a
+  ``Counter`` over all member-incident edges at every level and rebuild
+  the neighbor maps from per-edge dict lookups.  Kept as the equivalence
+  baseline and as the ``--perf`` harness's speedup reference.
+
 Randomness is drawn from per-``(purpose, level, cluster)`` streams of a
 :class:`~repro.rng.RngFactory` rooted at ``params.seed``, which is what
 makes the centralized and distributed runs bit-identical.
@@ -26,6 +42,7 @@ makes the centralized and distributed runs bit-identical.
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 
 from repro.core.forest import ClusterForest
@@ -43,7 +60,9 @@ __all__ = ["build_spanner", "SamplerRun"]
 class SamplerRun:
     """One centralized execution; exposed for step-by-step inspection."""
 
-    def __init__(self, network: Network, params: SamplerParams) -> None:
+    def __init__(
+        self, network: Network, params: SamplerParams, *, incremental: bool = True
+    ) -> None:
         self.network = network
         self.params = params
         self.forest = ClusterForest(network)
@@ -54,6 +73,15 @@ class SamplerRun:
         self._phys_dead: dict[int, set[int]] = {}
         self._finished: dict[int, FinishedCluster] = {}
         self._level_done = 0
+        self._incremental = incremental
+        self._eid_row, self._ep_u, self._ep_v = network.endpoints_flat()
+        if incremental:
+            # Pool invariant: ``_pools[cid]`` holds exactly the edges with
+            # one endpoint-incidence inside cluster ``cid``.  Clusters that
+            # never merged are *absent*: they are level-0 singletons whose
+            # pool is simply ``network.incident(cid)``.
+            self._pools: dict[int, set[int]] = {}
+            self._dead: dict[int, set[int]] = {}
 
     # ------------------------------------------------------------------
     # public driver
@@ -77,41 +105,92 @@ class SamplerRun:
     def run_level(self, j: int) -> LevelTrace:
         if j != self._level_done:
             raise SimulationError(f"levels must run in order; expected {self._level_done}")
+        incremental = self._incremental
         live = {cid: self._live_edges(cid) for cid in self._active}
-        by_neighbor = {cid: self._group_by_neighbor(cid, edges) for cid, edges in live.items()}
-        edge_neighbor = {
-            cid: {
-                eid: other
-                for other, bundle in groups.items()
-                for eid in bundle
+        if incremental:
+            by_neighbor = {
+                cid: self._group_by_neighbor(cid, edges) for cid, edges in live.items()
             }
-            for cid, groups in by_neighbor.items()
-        }
+        else:
+            by_neighbor = {
+                cid: self._group_by_neighbor_reference(cid, edges)
+                for cid, edges in live.items()
+            }
+            edge_neighbor = {
+                cid: {
+                    eid: other
+                    for other, bundle in groups.items()
+                    for eid in bundle
+                }
+                for cid, groups in by_neighbor.items()
+            }
         sizes = {cid: self.forest.size(cid) for cid in self._active}
-        heights = {cid: self.forest.tree(cid).height for cid in self._active}
+        if incremental:
+            heights = self.forest.heights_of(self._active)
+        else:
+            heights = {cid: self.forest.tree(cid).height for cid in self._active}
 
         machines: dict[int, TrialMachine] = {}
-        for cid in sorted(self._active):
-            machine = TrialMachine(
-                vid=cid,
-                level=j,
-                incident_edges=live[cid],
-                params=self.params,
-                n=self.network.n,
-                rng=self._rngf.stream("trials", j, cid),
-            )
-            while machine.wants_trial():
-                queried = machine.begin_trial()
-                results = [
-                    self._resolve(cid, eid, by_neighbor, edge_neighbor)
-                    for eid in queried
-                ]
-                machine.deliver(results)
-            machines[cid] = machine
+        if incremental:
+            trial_rng = self._rngf.prefix("trials", j)
+            n = self.network.n
+            target_j = self.params.target(j, n)
+            budget_j = self.params.queries_per_trial(j, n)
+            eid_row = self._eid_row
+            ep_u = self._ep_u
+            ep_v = self._ep_v
+            root = self.forest.root_of
+            active = self._active
+            # One Random instance re-seeded per machine: each machine runs
+            # to completion before the next is built, so the draw sequence
+            # is identical to giving every machine a fresh Random.
+            shared_rng = random.Random()
+            for cid in sorted(active):
+                shared_rng.seed(trial_rng.child_seed(cid))
+                machine = TrialMachine(
+                    vid=cid,
+                    level=j,
+                    incident_edges=live[cid],
+                    params=self.params,
+                    n=n,
+                    rng=shared_rng,
+                    target=target_j,
+                    budget=budget_j,
+                )
+                groups = by_neighbor[cid]
+                while machine.wants_trial():
+                    # Plain eid-first tuples: deliver() unpacks positionally,
+                    # so the QueryResult envelope is skipped on the hot path.
+                    results = []
+                    for eid in machine.begin_trial():
+                        row = eid if eid_row is None else eid_row[eid]
+                        ca = root[ep_u[row]]
+                        other = root[ep_v[row]] if ca == cid else ca
+                        results.append((eid, other, groups[other], other in active))
+                    machine.deliver(results)
+                machines[cid] = machine
+        else:
+            for cid in sorted(self._active):
+                machine = TrialMachine(
+                    vid=cid,
+                    level=j,
+                    incident_edges=live[cid],
+                    params=self.params,
+                    n=self.network.n,
+                    rng=self._rngf.stream("trials", j, cid),
+                )
+                while machine.wants_trial():
+                    queried = machine.begin_trial()
+                    results = [
+                        self._resolve(cid, eid, by_neighbor, edge_neighbor)
+                        for eid in queried
+                    ]
+                    machine.deliver(results)
+                machines[cid] = machine
 
         level_f: set[int] = set()
         for machine in machines.values():
-            level_f |= machine.spanner_edges
+            level_f.update(machine._f_active.values())
         self.spanner_edges |= level_f
 
         if j < self.params.k:
@@ -149,8 +228,14 @@ class SamplerRun:
         # Apply the level's outcome.
         for joiner, center, eid in joins:
             self.forest.attach(joiner, center, eid)
+            if incremental:
+                self._merge_pools(joiner, center)
         for cid in unclustered:
             self._finish_cluster(cid, j, machines[cid], live[cid])
+        if incremental:
+            for cid in unclustered:
+                self._pools.pop(cid, None)
+                self._dead.pop(cid, None)
         self._active = set(centers) if j < self.params.k else set()
         self._level_done = j + 1
         return level_trace
@@ -160,17 +245,87 @@ class SamplerRun:
     # ------------------------------------------------------------------
     def _live_edges(self, cid: int) -> list[int]:
         """``X_v`` at level start: dedup minus received finish payloads."""
+        if self._incremental:
+            pool = self._pools.get(cid)
+            dead = self._dead.get(cid)
+            if pool is None:  # never merged: singleton, cid is its phys id
+                incident = self.network.incident(cid)
+                if not dead:
+                    return list(incident)
+                return [e for e in incident if e not in dead]
+            if dead:
+                return sorted(pool - dead)
+            return sorted(pool)
         counts: Counter[int] = Counter()
-        dead: set[int] = set()
+        dead_set: set[int] = set()
         for phys in self.forest.members(cid):
             counts.update(self.network.incident(phys))
             phys_dead = self._phys_dead.get(phys)
             if phys_dead:
-                dead |= phys_dead
-        return sorted(e for e, c in counts.items() if c == 1 and e not in dead)
+                dead_set |= phys_dead
+        return sorted(e for e, c in counts.items() if c == 1 and e not in dead_set)
 
-    def _group_by_neighbor(self, cid: int, edges: list[int]) -> dict[int, tuple[int, ...]]:
-        """Partition ``X_v`` by the cluster at the other end of each edge."""
+    def _merge_pools(self, joiner: int, center: int) -> None:
+        """Fold ``joiner``'s pool and dead set into ``center``'s.
+
+        Symmetric difference implements intra-cluster cancellation: an
+        edge present in both pools has one endpoint-incidence in each
+        cluster, so after the merge both incidences are internal and the
+        edge leaves every pool for good.  The smaller set is always the
+        one iterated.
+        """
+        pools = self._pools
+        pool_j = pools.pop(joiner, None)
+        if pool_j is None:
+            pool_j = set(self.network.incident(joiner))
+        pool_c = pools.get(center)
+        if pool_c is None:
+            pool_c = set(self.network.incident(center))
+            pools[center] = pool_c
+        if len(pool_j) > len(pool_c):
+            pool_j ^= pool_c
+            pools[center] = pool_j
+        else:
+            pool_c ^= pool_j
+        dead_j = self._dead.pop(joiner, None)
+        if dead_j:
+            dead_c = self._dead.get(center)
+            if dead_c is None:
+                self._dead[center] = dead_j
+            elif len(dead_j) > len(dead_c):
+                dead_j |= dead_c
+                self._dead[center] = dead_j
+            else:
+                dead_c |= dead_j
+
+    def _group_by_neighbor(self, cid: int, edges: list[int]) -> dict[int, list[int]]:
+        """Partition ``X_v`` by the cluster at the other end of each edge.
+
+        Bundles stay lists (ascending eid, since ``edges`` is sorted);
+        they are only iterated and counted, never hashed or mutated.
+        """
+        groups: dict[int, list[int]] = {}
+        eid_row = self._eid_row
+        ep_u = self._ep_u
+        ep_v = self._ep_v
+        root = self.forest.root_of
+        for eid in edges:
+            row = eid if eid_row is None else eid_row[eid]
+            ca = root[ep_u[row]]
+            other = root[ep_v[row]] if ca == cid else ca
+            if other == cid:
+                raise SimulationError(f"edge {eid} is intra-cluster for {cid}")
+            bundle = groups.get(other)
+            if bundle is None:
+                groups[other] = [eid]
+            else:
+                bundle.append(eid)
+        return groups
+
+    def _group_by_neighbor_reference(
+        self, cid: int, edges: list[int]
+    ) -> dict[int, tuple[int, ...]]:
+        """Seed-path grouping via per-edge endpoint tuples and dict lookups."""
         groups: dict[int, list[int]] = {}
         for eid in edges:
             a, b = self.network.endpoints(eid)
@@ -209,12 +364,20 @@ class SamplerRun:
     ) -> tuple[tuple[int, ...], tuple[tuple[int, int, int], ...], tuple[int, ...]]:
         """Second step of ``Cluster_j``: centers, joins, unclustered."""
         p_j = self.params.center_probability(j, self.network.n)
-        centers = {
-            cid
-            for cid in self._active
-            if self._rngf.uniform("center", j, cid) < p_j
-        }
-        outgoing = {cid: machines[cid].f_active for cid in self._active}
+        if self._incremental:
+            center_rng = self._rngf.prefix("center", j)
+            centers = {
+                cid for cid in self._active if center_rng.uniform(cid) < p_j
+            }
+        else:
+            centers = {
+                cid
+                for cid in self._active
+                if self._rngf.uniform("center", j, cid) < p_j
+            }
+        # Read-only view of each finished machine's neighbor map; trials
+        # are over, so sharing the internal dict is safe and copy-free.
+        outgoing = {cid: machines[cid]._f_active for cid in self._active}
         incoming: dict[int, dict[int, int]] = {cid: {} for cid in self._active}
         for cid, f_map in outgoing.items():
             for neighbor, eid in f_map.items():
@@ -256,30 +419,49 @@ class SamplerRun:
         for _neighbor, eid in machine.f_active.items():
             a, b = self.network.endpoints(eid)
             receiver = b if a in members else a
-            self._phys_dead.setdefault(receiver, set()).update(payload)
+            if self._incremental:
+                # Announcements travel with the receiver's *current*
+                # cluster: merges union dead sets, so this is exactly the
+                # union of member phys-level announcements in the seed.
+                rcid = self.forest.cluster_of(receiver)
+                dead = self._dead.get(rcid)
+                if dead is None:
+                    self._dead[rcid] = set(payload)
+                else:
+                    dead |= payload
+            else:
+                self._phys_dead.setdefault(receiver, set()).update(payload)
 
     def _node_trace(
         self, cid: int, machine: TrialMachine, live: list[int], degree: int
     ) -> NodeLevelTrace:
         stats = machine.stats
+        draws = queries = 0
+        for s in stats:
+            draws += s.draws
+            queries += len(s.queried_eids)
+        f_active = machine._f_active
+        f_inactive = machine._f_inactive
         return NodeLevelTrace(
             vid=cid,
             label=machine.label,
             trials=machine.trials_run,
-            draws=sum(s.draws for s in stats),
-            queries_sent=sum(len(s.queried_eids) for s in stats),
-            neighbors_found=len(machine.f_active),
-            inactive_found=len(machine.f_inactive),
+            draws=draws,
+            queries_sent=queries,
+            neighbors_found=len(f_active),
+            inactive_found=len(f_inactive),
             pool_initial=len(live),
             pool_final=machine.pool_size,
             degree=degree,
             target=machine.target,
             query_budget=machine.query_budget,
-            f_active=tuple(sorted(machine.f_active.items())),
-            f_inactive=tuple(sorted(machine.f_inactive.items())),
+            f_active=tuple(sorted(f_active.items())),
+            f_inactive=tuple(sorted(f_inactive.items())),
             trial_stats=stats,
         )
 
-def build_spanner(network: Network, params: SamplerParams) -> SpannerResult:
+def build_spanner(
+    network: Network, params: SamplerParams, *, incremental: bool = True
+) -> SpannerResult:
     """Run centralized ``Sampler`` and return the spanner with its trace."""
-    return SamplerRun(network, params).run()
+    return SamplerRun(network, params, incremental=incremental).run()

@@ -12,6 +12,7 @@ The trace is the single source of truth for:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.core.params import SamplerParams
 from repro.core.trials import NodeLabel, TrialStats
@@ -24,9 +25,12 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class NodeLevelTrace:
-    """What one virtual node did during one level."""
+class NodeLevelTrace(NamedTuple):
+    """What one virtual node did during one level.
+
+    A ``NamedTuple`` (not a dataclass): one is built per virtual node
+    per level, so construction cost is on the sampler's hot path.
+    """
 
     vid: int
     label: NodeLabel

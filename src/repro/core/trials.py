@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple, Sequence
 
 from repro.errors import ProtocolError
 from repro.core.params import SamplerParams
@@ -49,8 +49,7 @@ class NodeLabel(enum.Enum):
     STRANDED = "stranded"
 
 
-@dataclass(frozen=True)
-class QueryResult:
+class QueryResult(NamedTuple):
     """Answer to one query edge.
 
     ``neighbor`` is the cluster id across the queried edge,
@@ -59,6 +58,10 @@ class QueryResult:
     ``active`` whether the cluster is still a node of ``G_j`` (``False``
     only for finished clusters discovered through stale edges; see
     DESIGN.md note 5).
+
+    A ``NamedTuple`` rather than a dataclass: tens of thousands are
+    created per run, and ``eid``-first field order makes a plain
+    ``sorted()`` order results by edge id.
     """
 
     eid: int
@@ -67,7 +70,7 @@ class QueryResult:
     active: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class TrialStats:
     """Per-trial accounting used by the message model and the trace."""
 
@@ -90,13 +93,20 @@ class TrialMachine:
         params: SamplerParams,
         n: int,
         rng: random.Random,
+        *,
+        target: int | None = None,
+        budget: int | None = None,
     ) -> None:
         self.vid = vid
         self.level = level
         self._params = params
         self._rng = rng
-        self._target = params.target(level, n)
-        self._budget = params.queries_per_trial(level, n)
+        # target/budget depend only on (level, n); drivers running many
+        # machines per level pass them in to skip the repeated log/pow.
+        self._target = params.target(level, n) if target is None else target
+        self._budget = (
+            params.queries_per_trial(level, n) if budget is None else budget
+        )
         self._max_trials = params.trials
         self._pool: list[int] = sorted(incident_edges)
         self._alive: set[int] = set(self._pool)
@@ -160,32 +170,41 @@ class TrialMachine:
         the pseudocode's "pick an arbitrary edge" deterministically: the
         kept edge for each newly discovered neighbor is the smallest
         queried edge id leading to it.
+
+        Each result may be a :class:`QueryResult` or any eid-first
+        ``(eid, neighbor, neighbor_edges, active)`` sequence — the
+        centralized driver passes plain tuples on its hot path.
         """
         if not self._awaiting_delivery:
             raise ProtocolError("deliver() without a pending trial")
         stats = self._stats[-1]
-        for result in sorted(results, key=lambda r: r.eid):
-            if result.eid not in self._alive:
+        alive = self._alive
+        f_active = self._f_active
+        f_inactive = self._f_inactive
+        # eid-first field order means plain tuple order sorts by edge id.
+        for eid, neighbor, neighbor_edges, active in sorted(results):
+            if eid not in alive:
                 # a parallel edge to an already-processed neighbor; it was
                 # peeled earlier in this delivery (Pseudocode 2 line 10).
                 continue
-            if result.neighbor in self._f_active or result.neighbor in self._f_inactive:
+            if neighbor in f_active or neighbor in f_inactive:
                 raise ProtocolError(
-                    f"neighbor {result.neighbor} re-discovered; peeling failed"
+                    f"neighbor {neighbor} re-discovered; peeling failed"
                 )
-            peeled = [e for e in result.neighbor_edges if e in self._alive]
-            if result.eid not in peeled:
+            # Peel E_j(v, u) in one set pass; the queried edge itself must
+            # be among the peeled ids or the report was inconsistent.
+            before = len(alive)
+            alive.difference_update(neighbor_edges)
+            if eid in alive:
                 raise ProtocolError(
-                    f"query edge {result.eid} missing from neighbor's edge report"
+                    f"query edge {eid} missing from neighbor's edge report"
                 )
-            for eid in peeled:
-                self._alive.remove(eid)
-            stats.peeled_edges += len(peeled)
+            stats.peeled_edges += before - len(alive)
             stats.new_neighbors += 1
-            if result.active:
-                self._f_active[result.neighbor] = result.eid
+            if active:
+                f_active[neighbor] = eid
             else:
-                self._f_inactive[result.neighbor] = result.eid
+                f_inactive[neighbor] = eid
         self._awaiting_delivery = False
         if len(self._pool) > 4 and len(self._alive) * 2 < len(self._pool):
             self._pool = sorted(self._alive)

@@ -1,7 +1,15 @@
-"""Immutable communication networks with unique edge identifiers."""
+"""Immutable communication networks with unique edge identifiers.
+
+Storage is CSR-style flat arrays (see DESIGN.md §3): endpoint arrays
+``_ep_u``/``_ep_v`` indexed by *row* (the rank of an edge id in sorted
+order) and an incidence index ``(_indptr, _inc_eids)`` over nodes.
+:class:`~repro.local.edges.EdgeRef` remains the public edge view, built
+on demand by :meth:`Network.edge`; no per-edge objects are stored.
+"""
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Mapping, Sequence
 
 import networkx as nx
@@ -22,9 +30,31 @@ class Network:
     unique non-negative integers (by default consecutive), preserved by
     :meth:`subnetwork` so a spanner inherits the edge IDs of its parent
     graph — exactly the property the paper's model relies on.
+
+    Invariants the flat representation maintains (DESIGN.md §3):
+
+    * rows are ordered by ascending edge id, so ``_eids[row]`` is sorted
+      and, when ids are consecutive ``0..m-1``, ``row == eid`` and the
+      ``_eid_row`` dict is elided entirely (``None``);
+    * ``_ep_u[row] <= _ep_v[row]`` (the canonical ``EdgeRef`` orientation);
+    * each node's slice of ``_inc_eids`` is ascending, because the CSR
+      fill walks rows in ascending-eid order.
     """
 
-    __slots__ = ("_n", "_edges", "_incident", "_knowledge", "_name", "_eids")
+    __slots__ = (
+        "_n",
+        "_knowledge",
+        "_name",
+        "_eids",
+        "_eid_row",
+        "_ep_u",
+        "_ep_v",
+        "_indptr",
+        "_inc_eids",
+        "_incident",
+        "_neighbors",
+        "_adjacency",
+    )
 
     def __init__(
         self,
@@ -34,28 +64,88 @@ class Network:
         knowledge: Knowledge = Knowledge.EDGE_IDS,
         name: str = "",
     ) -> None:
-        if n <= 0:
-            raise ConfigurationError("a network needs at least one node")
-        edge_map: dict[int, EdgeRef] = {}
-        incident: list[list[int]] = [[] for _ in range(n)]
+        rows: list[tuple[int, int, int]] = []
+        seen: set[int] = set()
         for edge in edges:
-            if edge.eid in edge_map:
+            if edge.eid in seen:
                 raise ConfigurationError(f"duplicate edge id {edge.eid}")
             if edge.is_loop():
                 raise ConfigurationError(f"self-loop on node {edge.u} not allowed")
-            if not (0 <= edge.u < n and 0 <= edge.v < n):
+            if not (0 <= edge.u and edge.v < n):  # EdgeRef guarantees u <= v
                 raise ConfigurationError(f"edge {edge} has endpoint outside 0..{n - 1}")
-            edge_map[edge.eid] = edge
-            incident[edge.u].append(edge.eid)
-            incident[edge.v].append(edge.eid)
-        self._n = n
-        self._edges: dict[int, EdgeRef] = edge_map
-        self._incident: tuple[tuple[int, ...], ...] = tuple(
-            tuple(sorted(eids)) for eids in incident
+            seen.add(edge.eid)
+            rows.append((edge.eid, edge.u, edge.v))
+        rows.sort()
+        self._assemble(
+            n,
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+            knowledge,
+            name,
         )
+
+    # ------------------------------------------------------------------
+    # construction internals
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        n: int,
+        eids: Sequence[int],
+        us: Sequence[int],
+        vs: Sequence[int],
+        knowledge: Knowledge,
+        name: str,
+    ) -> None:
+        """Set every slot from pre-validated rows sorted by ascending eid."""
+        if n <= 0:
+            raise ConfigurationError("a network needs at least one node")
+        m = len(eids)
+        self._n = n
         self._knowledge = knowledge
-        self._name = name or f"network(n={n},m={len(edge_map)})"
-        self._eids: tuple[int, ...] = tuple(sorted(edge_map))
+        self._name = name or f"network(n={n},m={m})"
+        self._eids = tuple(eids)
+        identity = m == 0 or (eids[0] == 0 and eids[m - 1] == m - 1)
+        self._eid_row = None if identity else {eid: row for row, eid in enumerate(eids)}
+        self._ep_u = array("q", us)
+        self._ep_v = array("q", vs)
+        indptr = array("q", bytes(8 * (n + 1)))
+        for u in us:
+            indptr[u + 1] += 1
+        for v in vs:
+            indptr[v + 1] += 1
+        for i in range(n):
+            indptr[i + 1] += indptr[i]
+        inc = array("q", bytes(8 * 2 * m))
+        cursor = array("q", indptr)
+        for row in range(m):
+            eid = eids[row]
+            u = us[row]
+            v = vs[row]
+            inc[cursor[u]] = eid
+            cursor[u] += 1
+            inc[cursor[v]] = eid
+            cursor[v] += 1
+        self._indptr = indptr
+        self._inc_eids = inc
+        self._incident = None
+        self._neighbors = None
+        self._adjacency = None
+
+    @classmethod
+    def _trusted(
+        cls,
+        n: int,
+        eids: Sequence[int],
+        us: Sequence[int],
+        vs: Sequence[int],
+        knowledge: Knowledge,
+        name: str,
+    ) -> "Network":
+        """Build from rows already known valid and sorted by eid."""
+        self = object.__new__(cls)
+        self._assemble(n, eids, us, vs, knowledge, name)
+        return self
 
     # ------------------------------------------------------------------
     # constructors
@@ -79,8 +169,17 @@ class Network:
         pairs = sorted(
             (min(index[a], index[b]), max(index[a], index[b])) for a, b in graph.edges()
         )
-        edges = [EdgeRef(eid, u, v) for eid, (u, v) in enumerate(pairs)]
-        return cls(len(nodes), edges, knowledge=knowledge, name=name or str(graph))
+        for u, v in pairs:
+            if u == v:
+                raise ConfigurationError(f"self-loop on node {u} not allowed")
+        return cls._trusted(
+            len(nodes),
+            range(len(pairs)),
+            [p[0] for p in pairs],
+            [p[1] for p in pairs],
+            knowledge,
+            name or str(graph),
+        )
 
     @classmethod
     def from_edge_pairs(
@@ -91,8 +190,19 @@ class Network:
         knowledge: Knowledge = Knowledge.EDGE_IDS,
         name: str = "",
     ) -> "Network":
-        edges = [EdgeRef(eid, u, v) for eid, (u, v) in enumerate(pairs)]
-        return cls(n, edges, knowledge=knowledge, name=name)
+        us: list[int] = []
+        vs: list[int] = []
+        for a, b in pairs:
+            u, v = (a, b) if a <= b else (b, a)
+            if u == v:
+                raise ConfigurationError(f"self-loop on node {u} not allowed")
+            if not (0 <= u and v < n):
+                raise ConfigurationError(
+                    f"edge ({a}, {b}) has endpoint outside 0..{n - 1}"
+                )
+            us.append(u)
+            vs.append(v)
+        return cls._trusted(n, range(len(pairs)), us, vs, knowledge, name)
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -103,7 +213,7 @@ class Network:
 
     @property
     def m(self) -> int:
-        return len(self._edges)
+        return len(self._eids)
 
     @property
     def name(self) -> str:
@@ -120,58 +230,174 @@ class Network:
     def nodes(self) -> range:
         return range(self._n)
 
+    def _row(self, eid: int) -> int:
+        if self._eid_row is None:
+            if 0 <= eid < len(self._eids):
+                return eid
+            raise KeyError(eid)
+        return self._eid_row[eid]
+
     def edge(self, eid: int) -> EdgeRef:
-        return self._edges[eid]
+        """The :class:`EdgeRef` view of one edge (built on demand)."""
+        row = self._row(eid)
+        return EdgeRef(eid, self._ep_u[row], self._ep_v[row])
 
     def has_edge_id(self, eid: int) -> bool:
-        return eid in self._edges
+        if self._eid_row is None:
+            return 0 <= eid < len(self._eids)
+        return eid in self._eid_row
 
     def incident(self, node: int) -> tuple[int, ...]:
         """Sorted edge ids incident to ``node``."""
-        return self._incident[node]
+        incident = self._incident
+        if incident is None:
+            incident = self._build_incident()
+        return incident[node]
 
     def degree(self, node: int) -> int:
-        return len(self._incident[node])
+        if not 0 <= node < self._n:
+            raise IndexError(node)
+        return self._indptr[node + 1] - self._indptr[node]
 
     def endpoints(self, eid: int) -> tuple[int, int]:
-        edge = self._edges[eid]
-        return edge.u, edge.v
+        row = self._row(eid)
+        return self._ep_u[row], self._ep_v[row]
 
     def other_end(self, eid: int, node: int) -> int:
         """Runtime-side lookup; *not* exposed to node programs."""
-        return self._edges[eid].other(node)
+        row = self._row(eid)
+        u = self._ep_u[row]
+        v = self._ep_v[row]
+        if node == u:
+            return v
+        if node == v:
+            return u
+        raise ValueError(f"node {node} is not an endpoint of edge {eid}")
 
-    def neighbors(self, node: int) -> list[int]:
-        return [self._edges[eid].other(node) for eid in self._incident[node]]
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """Neighbor ids of ``node``, aligned with :meth:`incident` (cached)."""
+        neighbors = self._neighbors
+        if neighbors is None:
+            neighbors = self._build_neighbors()
+        return neighbors[node]
+
+    # ------------------------------------------------------------------
+    # flat views (runtime-side; not part of the node-program API)
+    # ------------------------------------------------------------------
+    def endpoints_flat(self) -> tuple[dict[int, int] | None, array, array]:
+        """``(eid_to_row, ep_u, ep_v)`` — row-indexed endpoint arrays.
+
+        ``eid_to_row`` is ``None`` when edge ids are consecutive
+        ``0..m-1`` (then ``row == eid``).  Hot paths index the arrays
+        directly instead of materializing per-edge tuples.
+        """
+        return self._eid_row, self._ep_u, self._ep_v
+
+    def incidence_csr(self) -> tuple[array, array]:
+        """``(indptr, eid_data)``: node ``v``'s incident edge ids are
+        ``eid_data[indptr[v]:indptr[v + 1]]`` in ascending order."""
+        return self._indptr, self._inc_eids
 
     # ------------------------------------------------------------------
     # derived networks and exports
     # ------------------------------------------------------------------
     def subnetwork(self, eids: Iterable[int], *, name: str = "") -> "Network":
-        """Same node set, subset of edges, **same edge IDs**."""
-        keep = []
-        for eid in sorted(set(eids)):
-            if eid not in self._edges:
-                raise ConfigurationError(f"edge id {eid} not in network")
-            keep.append(self._edges[eid])
-        return Network(
-            self._n, keep, knowledge=self._knowledge, name=name or f"{self._name}|sub"
+        """Same node set, subset of edges, **same edge IDs**.
+
+        Builds the child's arrays straight from the parent's rows — no
+        per-edge ``EdgeRef`` construction and no re-validation.
+        """
+        keep = sorted(set(eids))
+        ep_u = self._ep_u
+        ep_v = self._ep_v
+        us: list[int] = []
+        vs: list[int] = []
+        eid_row = self._eid_row
+        m = len(self._eids)
+        for eid in keep:
+            if eid_row is None:
+                if not 0 <= eid < m:
+                    raise ConfigurationError(f"edge id {eid} not in network")
+                row = eid
+            else:
+                row = eid_row.get(eid)
+                if row is None:
+                    raise ConfigurationError(f"edge id {eid} not in network")
+            us.append(ep_u[row])
+            vs.append(ep_v[row])
+        return Network._trusted(
+            self._n, keep, us, vs, self._knowledge, name or f"{self._name}|sub"
         )
 
     def with_knowledge(self, knowledge: Knowledge) -> "Network":
-        return Network(
-            self._n, self._edges.values(), knowledge=knowledge, name=self._name
-        )
+        """A view of the same graph under a different knowledge model.
+
+        Shares every flat array (and any already-built caches) with the
+        parent; only the knowledge tag differs.
+        """
+        clone = object.__new__(Network)
+        clone._n = self._n
+        clone._knowledge = knowledge
+        clone._name = self._name
+        clone._eids = self._eids
+        clone._eid_row = self._eid_row
+        clone._ep_u = self._ep_u
+        clone._ep_v = self._ep_v
+        clone._indptr = self._indptr
+        clone._inc_eids = self._inc_eids
+        clone._incident = self._incident
+        clone._neighbors = self._neighbors
+        clone._adjacency = self._adjacency
+        return clone
 
     def to_networkx(self) -> nx.Graph:
         graph = nx.Graph()
         graph.add_nodes_from(range(self._n))
-        for edge in self._edges.values():
-            graph.add_edge(edge.u, edge.v, eid=edge.eid)
+        for eid, u, v in zip(self._eids, self._ep_u, self._ep_v):
+            graph.add_edge(u, v, eid=eid)
         return graph
 
-    def adjacency(self) -> Mapping[int, list[int]]:
-        return {v: self.neighbors(v) for v in range(self._n)}
+    def adjacency(self) -> Mapping[int, tuple[int, ...]]:
+        adjacency = self._adjacency
+        if adjacency is None:
+            neighbors = self._neighbors
+            if neighbors is None:
+                neighbors = self._build_neighbors()
+            adjacency = self._adjacency = {
+                v: neighbors[v] for v in range(self._n)
+            }
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # lazy cache builders
+    # ------------------------------------------------------------------
+    def _build_incident(self) -> tuple[tuple[int, ...], ...]:
+        indptr = self._indptr
+        inc = self._inc_eids
+        built = tuple(
+            tuple(inc[indptr[v] : indptr[v + 1]]) for v in range(self._n)
+        )
+        self._incident = built
+        return built
+
+    def _build_neighbors(self) -> tuple[tuple[int, ...], ...]:
+        indptr = self._indptr
+        inc = self._inc_eids
+        ep_u = self._ep_u
+        ep_v = self._ep_v
+        eid_row = self._eid_row
+        out: list[tuple[int, ...]] = []
+        for v in range(self._n):
+            mine: list[int] = []
+            for i in range(indptr[v], indptr[v + 1]):
+                eid = inc[i]
+                row = eid if eid_row is None else eid_row[eid]
+                a = ep_u[row]
+                mine.append(ep_v[row] if a == v else a)
+            out.append(tuple(mine))
+        built = tuple(out)
+        self._neighbors = built
+        return built
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Network(n={self._n}, m={self.m}, knowledge={self._knowledge.value})"

@@ -134,7 +134,9 @@ class Context:
         return self._reactive
 
     # -- runtime-side helpers (not part of the program-facing API) ------
-    def _drain(self) -> list[Outbound]:
+    def _drain(self) -> Sequence[Outbound]:
+        if not self._outbox:
+            return ()
         queued, self._outbox = self._outbox, []
         return queued
 

@@ -52,21 +52,41 @@ class Runtime:
         self._n_hint = n_hint if n_hint is not None else network.n
         self._faults = faults or FaultPlan.none()
         rng_factory = RngFactory(seed)
+        node_rng = rng_factory.prefix("node")
         self._programs: list[NodeProgram] = []
         self._contexts: list[Context] = []
+        eid_row, ep_u, ep_v = network.endpoints_flat()
         for node in network.nodes():
             eids = network.incident(node)
-            neighbor_by_eid = {eid: network.other_end(eid, node) for eid in eids}
+            neighbor_by_eid: dict[int, int] = {}
+            for eid in eids:
+                row = eid if eid_row is None else eid_row[eid]
+                u = ep_u[row]
+                neighbor_by_eid[eid] = ep_v[row] if u == node else u
             ctx = Context(
                 node=node,
                 eids=eids,
                 neighbor_by_eid=neighbor_by_eid,
                 knowledge=network.knowledge,
                 n_hint=self._n_hint,
-                rng=rng_factory.stream("node", node),
+                rng=node_rng.stream(node),
             )
             self._contexts.append(ctx)
             self._programs.append(program_factory(node))
+        # Routing table: eid -> (u, v, port at u, port at v), computed once
+        # so delivery never re-derives endpoints or ports per message.
+        self._route: dict[int, tuple[int, int, int, int]] = {}
+        contexts = self._contexts
+        for eid in network.edge_ids:
+            row = eid if eid_row is None else eid_row[eid]
+            u = ep_u[row]
+            v = ep_v[row]
+            self._route[eid] = (
+                u,
+                v,
+                contexts[u]._port_of(eid),
+                contexts[v]._port_of(eid),
+            )
 
     @property
     def network(self) -> Network:
@@ -97,16 +117,23 @@ class Runtime:
                 )
             rounds += 1
             stats.open_round()
-            inboxes: dict[int, list[Inbound]] = {}
+            # Pre-sized inboxes indexed by node; the routing table turns
+            # delivery into a dict hit plus two comparisons per message.
+            inboxes: list[list[Inbound] | None] = [None] * network.n
+            route = self._route
             for msg in in_flight:
-                receiver = network.other_end(msg.eid, msg.sender)
-                port = self._contexts[receiver]._port_of(msg.eid)
-                inboxes.setdefault(receiver, []).append(
-                    Inbound(port=port, payload=msg.payload, tag=msg.tag)
-                )
+                u, v, port_u, port_v = route[msg.eid]
+                if msg.sender == u:
+                    receiver, port = v, port_v
+                else:
+                    receiver, port = u, port_u
+                box = inboxes[receiver]
+                if box is None:
+                    box = inboxes[receiver] = []
+                box.append(Inbound(port=port, payload=msg.payload, tag=msg.tag))
             for node in network.nodes():
                 ctx = self._contexts[node]
-                inbox = inboxes.get(node, ())
+                inbox = inboxes[node] or ()
                 if ctx.halted and not (ctx.reactive and inbox):
                     continue
                 self._programs[node].on_round(ctx, inbox)
@@ -125,9 +152,10 @@ class Runtime:
     # ------------------------------------------------------------------
     def _collect(self, stats: MessageStats, round_index: int) -> list[Outbound]:
         queued: list[Outbound] = []
-        for node in self._network.nodes():
-            for msg in self._contexts[node]._drain():
-                if self._faults.drops(round_index, msg.eid, msg.sender):
+        faults = self._faults
+        for ctx in self._contexts:
+            for msg in ctx._drain():
+                if faults.drops(round_index, msg.eid, msg.sender):
                     stats.record_drop()
                     continue
                 stats.record(msg.tag)

@@ -8,6 +8,10 @@ accounting model tag for tag.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import pathlib
+
 import pytest
 
 from repro.core import SamplerParams, build_spanner
@@ -77,6 +81,43 @@ class TestEquivalence:
         dist = build_spanner_distributed(net, params)
         for c_level, d_level in zip(cen.trace.levels, dist.trace.levels):
             assert c_level.cluster_sizes == d_level.cluster_sizes
+
+
+class TestSeedGoldens:
+    """Optimized paths must stay bit-identical to the *seed* traces.
+
+    ``tests/data/golden_signatures.json`` holds sha256 digests of
+    ``SamplerTrace.signature()`` captured from the original (pre-flat-
+    array) implementation for every CASES entry.  Both drivers — the
+    optimized centralized run and the distributed run — must still hash
+    to those digests.  Regenerate only for deliberate semantic changes
+    (``tools/capture_golden_signatures.py``).
+    """
+
+    GOLDENS = json.loads(
+        (pathlib.Path(__file__).parent / "data" / "golden_signatures.json").read_text()
+    )
+
+    @pytest.mark.parametrize("name", [c[0] for c in CASES])
+    def test_centralized_matches_seed_trace(self, name):
+        _name, build, params = next(c for c in CASES if c[0] == name)
+        result = build_spanner(build(), params)
+        digest = hashlib.sha256(repr(result.trace.signature()).encode()).hexdigest()
+        assert digest == self.GOLDENS[name]
+
+    @pytest.mark.parametrize("name", [c[0] for c in CASES])
+    def test_distributed_matches_seed_trace(self, name):
+        _name, build, params = next(c for c in CASES if c[0] == name)
+        result = build_spanner_distributed(build(), params)
+        digest = hashlib.sha256(repr(result.trace.signature()).encode()).hexdigest()
+        assert digest == self.GOLDENS[name]
+
+    @pytest.mark.parametrize("name", [c[0] for c in CASES])
+    def test_reference_strategy_matches_seed_trace(self, name):
+        _name, build, params = next(c for c in CASES if c[0] == name)
+        result = build_spanner(build(), params, incremental=False)
+        digest = hashlib.sha256(repr(result.trace.signature()).encode()).hexdigest()
+        assert digest == self.GOLDENS[name]
 
 
 class TestSeedVariation:

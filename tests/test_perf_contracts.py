@@ -1,0 +1,162 @@
+"""Performance contracts for the flat-array core.
+
+Two kinds of guards:
+
+* **structural** — the CSR fast paths must not fall back to per-edge
+  object churn (counted by instrumenting ``EdgeRef``), and cached
+  accessors must return the same object on repeated calls;
+* **equivalence** — the incremental sampler strategy must stay
+  *bit-identical* to the seed recount strategy, pinned both against each
+  other (full-trace equality) and against the sha256 digests captured
+  from the seed implementation before the refactor
+  (``tests/data/golden_signatures.json``, regenerated only deliberately
+  via ``tools/capture_golden_signatures.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.core import SamplerParams
+from repro.core.sampler import SamplerRun
+from repro.graphs import barabasi_albert, erdos_renyi, random_regular
+from repro.local import EdgeRef, Network
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_signatures.json"
+
+
+def _digest(trace) -> str:
+    return hashlib.sha256(repr(trace.signature()).encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict[str, str]:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture()
+def count_edgerefs(monkeypatch):
+    """Patch EdgeRef.__post_init__ to count instantiations."""
+    counter = {"count": 0}
+    original = EdgeRef.__post_init__
+
+    def counting(self):
+        counter["count"] += 1
+        original(self)
+
+    monkeypatch.setattr(EdgeRef, "__post_init__", counting)
+    return counter
+
+
+class TestSubnetworkContracts:
+    def test_subnetwork_creates_no_edge_objects(self, count_edgerefs):
+        n = 50_000
+        net = Network.from_edge_pairs(n, [(i, i + 1) for i in range(n - 1)])
+        count_edgerefs["count"] = 0
+        sub = net.subnetwork(range(0, n - 1, 2))
+        assert count_edgerefs["count"] == 0
+        assert sub.m == (n - 1 + 1) // 2
+        assert sub.endpoints(0) == (0, 1)
+
+    def test_from_edge_pairs_creates_no_edge_objects(self, count_edgerefs):
+        Network.from_edge_pairs(1000, [(i, i + 1) for i in range(999)])
+        assert count_edgerefs["count"] == 0
+
+    def test_subnetwork_path_50k_is_fast(self):
+        """Time-bounded sanity: views must be built in one linear pass.
+
+        The seed implementation re-validated and re-built an EdgeRef map
+        per subnetwork; on n=50k this guard allows ~20x headroom over
+        the flat path's observed cost, but catches an accidental return
+        to per-edge dict rebuilds (which would also trip the counter
+        test above)."""
+        n = 50_000
+        net = Network.from_edge_pairs(n, [(i, i + 1) for i in range(n - 1)])
+        started = time.perf_counter()
+        for _ in range(3):
+            net.subnetwork(range(0, n - 1, 2))
+        elapsed = time.perf_counter() - started
+        assert elapsed < 2.0, f"subnetwork of a 50k path took {elapsed:.2f}s"
+
+    def test_edge_view_is_lazy_but_correct(self):
+        net = Network.from_edge_pairs(4, [(0, 1), (1, 2), (2, 3)])
+        edge = net.edge(1)
+        assert isinstance(edge, EdgeRef)
+        assert (edge.eid, edge.u, edge.v) == (1, 1, 2)
+
+
+class TestCachedAccessors:
+    def test_neighbors_cached(self):
+        net = erdos_renyi(60, 0.2, seed=3)
+        assert net.neighbors(5) is net.neighbors(5)
+
+    def test_adjacency_cached(self):
+        net = erdos_renyi(60, 0.2, seed=3)
+        assert net.adjacency() is net.adjacency()
+
+    def test_incident_cached(self):
+        net = erdos_renyi(60, 0.2, seed=3)
+        assert net.incident(7) is net.incident(7)
+
+    def test_neighbors_aligned_with_incident(self):
+        net = erdos_renyi(40, 0.25, seed=4)
+        for v in net.nodes():
+            assert net.neighbors(v) == tuple(
+                net.other_end(eid, v) for eid in net.incident(v)
+            )
+
+    def test_csr_views_consistent(self):
+        net = erdos_renyi(40, 0.25, seed=5)
+        indptr, inc = net.incidence_csr()
+        eid_row, ep_u, ep_v = net.endpoints_flat()
+        assert eid_row is None  # consecutive ids -> identity mapping
+        for v in net.nodes():
+            assert tuple(inc[indptr[v] : indptr[v + 1]]) == net.incident(v)
+        for eid in net.edge_ids:
+            assert (ep_u[eid], ep_v[eid]) == net.endpoints(eid)
+
+    def test_sparse_id_subnetwork_keeps_lookups(self):
+        net = erdos_renyi(30, 0.3, seed=6)
+        keep = list(net.edge_ids)[1::2]  # non-consecutive -> dict mapping
+        sub = net.subnetwork(keep)
+        eid_row, _u, _v = sub.endpoints_flat()
+        assert eid_row is not None
+        for eid in keep:
+            assert sub.endpoints(eid) == net.endpoints(eid)
+
+
+FAMILIES = {
+    "er60": lambda s: (erdos_renyi(60, 0.15, seed=s), SamplerParams(k=2, h=2, seed=s)),
+    "reg64": lambda s: (
+        random_regular(64, 6, seed=s),
+        SamplerParams(k=2, h=2, seed=s + 100),
+    ),
+    "ba70": lambda s: (
+        barabasi_albert(70, 4, seed=s),
+        SamplerParams(k=1, h=2, seed=s + 200),
+    ),
+}
+
+
+class TestIncrementalBitIdentical:
+    """5 seeds x 3 families: flat path == seed path, pinned to goldens."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_trace_identical(self, family, seed, goldens):
+        net, params = FAMILIES[family](seed)
+        optimized = SamplerRun(net, params, incremental=True).run()
+        reference = SamplerRun(net, params, incremental=False).run()
+        assert optimized.edges == reference.edges
+        assert optimized.trace.levels == reference.trace.levels
+        assert optimized.trace.finished == reference.trace.finished
+        digest = _digest(optimized.trace)
+        assert digest == _digest(reference.trace)
+        assert digest == goldens[f"{family}-s{seed}"], (
+            f"{family}-s{seed}: trace diverged from the frozen seed behaviour"
+        )

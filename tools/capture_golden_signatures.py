@@ -1,0 +1,96 @@
+"""Regenerate ``tests/data/golden_signatures.json``.
+
+The golden file pins sha256 digests of centralized ``SamplerTrace``
+signatures so that future optimizations of the hot paths can prove they
+stayed bit-identical to the seed implementation.  Run from the repo
+root::
+
+    PYTHONPATH=src python tools/capture_golden_signatures.py
+
+Only regenerate the file when a *deliberate* semantic change to the
+sampler is being made (and say so in the PR description) — the whole
+point of the file is to freeze the seed behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.core import SamplerParams, build_spanner
+from repro.graphs import (
+    barabasi_albert,
+    caveman,
+    complete_graph,
+    erdos_renyi,
+    random_regular,
+    torus,
+)
+
+
+def signature_digest(trace) -> str:
+    return hashlib.sha256(repr(trace.signature()).encode()).hexdigest()
+
+
+def equivalence_cases() -> list[tuple[str, object, SamplerParams]]:
+    return [
+        ("er50", erdos_renyi(50, 0.2, seed=1), SamplerParams(k=1, h=1, seed=3)),
+        ("er50-k2", erdos_renyi(50, 0.2, seed=1), SamplerParams(k=2, h=2, seed=4)),
+        ("er80", erdos_renyi(80, 0.12, seed=2), SamplerParams(k=2, h=2, seed=11)),
+        ("torus", torus(7, 7), SamplerParams(k=2, h=3, seed=5)),
+        ("caveman", caveman(6, 6), SamplerParams(k=1, h=2, seed=6)),
+        (
+            "dense",
+            complete_graph(60),
+            SamplerParams(k=2, h=2, seed=7, c_query=0.4, c_target=0.5),
+        ),
+        (
+            "k3",
+            erdos_renyi(70, 0.15, seed=8),
+            SamplerParams(k=3, h=1, seed=9, c_query=0.7, c_target=1.0),
+        ),
+    ]
+
+
+def family_cases() -> list[tuple[str, object, SamplerParams]]:
+    cases = []
+    for seed in range(5):
+        cases.append(
+            (
+                f"er60-s{seed}",
+                erdos_renyi(60, 0.15, seed=seed),
+                SamplerParams(k=2, h=2, seed=seed),
+            )
+        )
+        cases.append(
+            (
+                f"reg64-s{seed}",
+                random_regular(64, 6, seed=seed),
+                SamplerParams(k=2, h=2, seed=seed + 100),
+            )
+        )
+        cases.append(
+            (
+                f"ba70-s{seed}",
+                barabasi_albert(70, 4, seed=seed),
+                SamplerParams(k=1, h=2, seed=seed + 200),
+            )
+        )
+    return cases
+
+
+def main() -> None:
+    goldens: dict[str, str] = {}
+    for name, net, params in equivalence_cases() + family_cases():
+        goldens[name] = signature_digest(build_spanner(net, params).trace)
+        print(f"{name}: {goldens[name][:16]}…")
+    out = os.path.join(os.path.dirname(__file__), "..", "tests", "data", "golden_signatures.json")
+    with open(os.path.normpath(out), "w", encoding="utf-8") as handle:
+        json.dump(goldens, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(goldens)} digests")
+
+
+if __name__ == "__main__":
+    main()
