@@ -28,12 +28,20 @@ _UNREACHABLE = math.inf
 
 @dataclass(frozen=True)
 class StretchReport:
-    """Distribution of measured stretch values."""
+    """Distribution of measured stretch values.
+
+    ``unreachable_pairs`` counts pairs *proven* disconnected in ``H``
+    (their BFS exhausted the component).  ``beyond_cutoff`` counts pairs
+    whose distance exceeds a finite BFS ``cutoff`` — the search was
+    truncated, so they are unverified rather than disconnected.  ``ok``
+    is a connectivity verdict and therefore ignores ``beyond_cutoff``.
+    """
 
     max_stretch: float
     mean_stretch: float
     pairs_measured: int
     unreachable_pairs: int
+    beyond_cutoff: int = 0
 
     @property
     def ok(self) -> bool:
@@ -68,6 +76,17 @@ def bfs_distances(
     return dist
 
 
+def _bfs_exhausted(dist: dict[int, int], cutoff: float) -> bool:
+    """Whether a truncated BFS provably explored its whole component.
+
+    When no node sits at distance ``cutoff`` the frontier died before the
+    truncation could bite, so any node missing from ``dist`` is genuinely
+    disconnected; otherwise a missing node may merely lie beyond the
+    cutoff.
+    """
+    return cutoff == _UNREACHABLE or all(d < cutoff for d in dist.values())
+
+
 def adjacent_pair_stretch(
     network: Network,
     spanner_edges: Iterable[int],
@@ -96,23 +115,29 @@ def adjacent_pair_stretch(
     worst = 0.0
     total = 0.0
     unreachable = 0
+    beyond = 0
     measured = 0
     for source, targets in by_source.items():
         dist = bfs_distances(spanner_adj, source, cutoff=cutoff)
+        exhausted = _bfs_exhausted(dist, cutoff)
         for target in targets:
             measured += 1
             d = dist.get(target)
             if d is None:
-                unreachable += 1
+                if exhausted:
+                    unreachable += 1
+                else:
+                    beyond += 1
             else:
                 worst = max(worst, float(d))
                 total += d
-    mean = total / max(1, measured - unreachable)
+    mean = total / max(1, measured - unreachable - beyond)
     return StretchReport(
         max_stretch=worst,
         mean_stretch=mean,
         pairs_measured=measured,
         unreachable_pairs=unreachable,
+        beyond_cutoff=beyond,
     )
 
 

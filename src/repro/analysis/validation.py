@@ -49,10 +49,14 @@ def validate_spanner(
         seed=seed,
         cutoff=bound + 1,
     )
-    if report.unreachable_pairs:
+    if report.unreachable_pairs or report.beyond_cutoff:
+        # Both buckets violate the bound here: the BFS cutoff is bound+1,
+        # so a pair beyond it has spanner distance > bound even when the
+        # endpoints are still connected in H.
         raise ValidationError(
-            f"{report.unreachable_pairs} adjacent pairs have spanner distance "
-            f"> {bound} (or are disconnected in H)"
+            f"{report.unreachable_pairs + report.beyond_cutoff} adjacent pairs "
+            f"have spanner distance > {bound} "
+            f"({report.unreachable_pairs} provably disconnected in H)"
         )
     if report.max_stretch > bound:
         raise ValidationError(

@@ -1,8 +1,9 @@
 """The performance-regression harness (``python -m repro.bench --perf``).
 
 Times the simulator's hot kernels — centralized spanner construction on
-three graph families × three sizes, plus the end-to-end two-stage
-message-reduction scheme on each family — and records the results in
+three graph families × three sizes, the fast flood engine on a spanner
+of each family (``flood/*``), and the end-to-end one- and two-stage
+message-reduction schemes on each family — and records the results in
 ``BENCH_core.json`` at the repo root.  Every future PR then has a
 trajectory to beat:
 
@@ -30,7 +31,7 @@ from repro.algorithms import BallCollect
 from repro.core import SamplerParams, build_spanner
 from repro.graphs import barabasi_albert, erdos_renyi, torus
 from repro.local.network import Network
-from repro.simulate import run_two_stage
+from repro.simulate import run_one_stage, run_two_stage, t_local_broadcast
 
 __all__ = [
     "BENCH_FILE",
@@ -79,10 +80,27 @@ def _two_stage(net: Network) -> object:
     )
 
 
+def _one_stage(net: Network) -> object:
+    return run_one_stage(net, BallCollect(2), params=_SCHEME_PARAMS, seed=33)
+
+
+FLOOD_RADIUS = 4  # balls reach most of the graph without the collected
+# dicts dwarfing the sweep itself
+
+
+def _spanner_sub(net: Network) -> Network:
+    return net.subnetwork(build_spanner(net, _SPANNER_PARAMS).edges)
+
+
+def _flood(sub: Network) -> object:
+    return t_local_broadcast(sub, lambda v: v, FLOOD_RADIUS)
+
+
 def default_kernels() -> list[Kernel]:
-    """3 graph families × 3 sizes of spanner construction, plus the
-    full two-stage scheme (distributed stage 1 + both simulations) on a
-    small instance of each family."""
+    """3 graph families × 3 sizes of spanner construction, the fast
+    flood engine over a spanner of the largest instance of each family,
+    plus the one- and two-stage schemes (distributed stage 1 + every
+    simulation) on a small instance of each family."""
     kernels: list[Kernel] = []
     for n in (500, 1000, 2000):
         kernels.append(Kernel(f"spanner/gnp/n{n}", lambda n=n: _gnp(n), _spanner))
@@ -99,24 +117,29 @@ def default_kernels() -> list[Kernel]:
             )
         )
     kernels.append(
-        Kernel(
-            "scheme/two_stage/gnp",
-            lambda: erdos_renyi(150, 0.18, seed=27),
-            _two_stage,
-            repeats=2,
-        )
+        Kernel("flood/gnp/n2000", lambda: _spanner_sub(_gnp(2000)), _flood)
     )
     kernels.append(
-        Kernel("scheme/two_stage/torus", lambda: torus(12, 12), _two_stage, repeats=2)
+        Kernel("flood/torus/32x32", lambda: _spanner_sub(torus(32, 32)), _flood)
     )
     kernels.append(
         Kernel(
-            "scheme/two_stage/ba",
-            lambda: barabasi_albert(160, 3, seed=5),
-            _two_stage,
-            repeats=2,
+            "flood/ba/n2000",
+            lambda: _spanner_sub(barabasi_albert(2000, 4, seed=1)),
+            _flood,
         )
     )
+    for name, build in (
+        ("gnp", lambda: erdos_renyi(150, 0.18, seed=27)),
+        ("torus", lambda: torus(12, 12)),
+        ("ba", lambda: barabasi_albert(160, 3, seed=5)),
+    ):
+        kernels.append(
+            Kernel(f"scheme/one_stage/{name}", build, _one_stage, repeats=2)
+        )
+        kernels.append(
+            Kernel(f"scheme/two_stage/{name}", build, _two_stage, repeats=2)
+        )
     return kernels
 
 

@@ -3,8 +3,9 @@
 The LOCAL model itself is failure-free; these hooks exist to test that
 the simulator's bookkeeping (delivery, counting) is airtight and to let
 users experiment with robustness of protocols built on the kernel.
-Faults are deterministic functions of ``(round, eid, seed)`` so runs
-remain reproducible.
+Faults are deterministic functions of ``(round, eid, sender)`` — the
+sender pins down the direction of travel over the edge — so runs remain
+reproducible.
 """
 
 from __future__ import annotations
@@ -14,18 +15,21 @@ from typing import Callable
 
 from repro.rng import stable_uniform
 
-__all__ = ["FaultPlan"]
+__all__ = ["FaultPlan", "DropRule"]
 
-DropRule = Callable[[int, int], bool]
+DropRule = Callable[[int, int, int], bool]
+"""``rule(round_index, eid, sender) -> bool``: True drops the message."""
 
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Decides whether the message sent in ``round`` over ``eid`` is lost.
+    """Decides whether the message ``sender`` sent in ``round`` over
+    ``eid`` is lost.
 
     ``drop_probability`` applies a seeded Bernoulli coin per
-    ``(round, eid, direction)``; ``rule`` allows arbitrary deterministic
-    drop predicates.  Either (or both) may be used.
+    ``(round, eid, sender)`` — i.e. per direction of the edge; ``rule``
+    allows arbitrary deterministic drop predicates over the same triple.
+    Either (or both) may be used.
     """
 
     drop_probability: float = 0.0
@@ -37,7 +41,7 @@ class FaultPlan:
             raise ValueError("drop_probability must be in [0, 1]")
 
     def drops(self, round_index: int, eid: int, sender: int) -> bool:
-        if self.rule is not None and self.rule(round_index, eid):
+        if self.rule is not None and self.rule(round_index, eid, sender):
             return True
         if self.drop_probability > 0.0:
             coin = stable_uniform(self.seed, ("drop", round_index, eid, sender))

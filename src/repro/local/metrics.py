@@ -18,7 +18,9 @@ class MessageStats:
     ``Sampler`` uses tags like ``"query"``, ``"bcast"``, ``"finish"`` so
     experiments can attribute cost to protocol phases).  ``dropped``
     counts messages removed by a fault plan; they are *not* included in
-    ``total``.
+    ``total``.  ``per_round[r]`` holds the messages recorded while round
+    ``r`` was open; ``sum(per_round) == total`` is an unconditional
+    invariant (``record`` opens an implicit round if none is open yet).
     """
 
     total: int = 0
@@ -29,8 +31,11 @@ class MessageStats:
     def record(self, tag: str) -> None:
         self.total += 1
         self.by_tag[tag] += 1
-        if self.per_round:
-            self.per_round[-1] += 1
+        if not self.per_round:
+            # A record before any open_round still has to land in a
+            # bucket: sum(per_round) == total is an invariant.
+            self.per_round.append(0)
+        self.per_round[-1] += 1
 
     def record_drop(self) -> None:
         self.dropped += 1

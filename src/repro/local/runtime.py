@@ -5,7 +5,10 @@ Semantics (fully synchronous LOCAL model):
 * all nodes run in lockstep; a message sent in round ``r`` is delivered
   at the start of round ``r + 1``;
 * message size is unbounded and not metered; the *count* of messages is
-  metered exactly (one per ``Context.send`` call);
+  metered exactly — one per ``Context.send`` call *that is delivered*.
+  Under a fixed round budget, sends queued in the final round have no
+  delivery round left; they are discarded unmetered, so ``total`` always
+  equals the number of messages actually received;
 * the run ends when every non-reactive program has halted and no
   messages are in flight, or when an optional fixed round budget is
   reached.
@@ -95,18 +98,24 @@ class Runtime:
     def run(self) -> RunReport:
         stats = MessageStats()
         network = self._network
+        fixed = self._fixed_rounds
         in_flight: list[Outbound] = []
 
         # Round 0: on_start at every node.
         stats.open_round()
         for node in network.nodes():
             self._programs[node].on_start(self._contexts[node])
-        in_flight = self._collect(stats, round_index=0)
+        if fixed == 0:
+            # No delivery round will ever run: round-0 sends cannot be
+            # delivered, so they are discarded unmetered.
+            self._discard_undelivered()
+        else:
+            in_flight = self._collect(stats, round_index=0)
 
         rounds = 0
         while True:
-            if self._fixed_rounds is not None:
-                if rounds >= self._fixed_rounds:
+            if fixed is not None:
+                if rounds >= fixed:
                     break
             elif not in_flight and self._all_halted():
                 break
@@ -137,6 +146,13 @@ class Runtime:
                 if ctx.halted and not (ctx.reactive and inbox):
                     continue
                 self._programs[node].on_round(ctx, inbox)
+            if fixed is not None and rounds >= fixed:
+                # Final fixed round: anything queued now can never be
+                # delivered, so metering it would overstate the cost by
+                # up to a full round of sends.
+                self._discard_undelivered()
+                in_flight = []
+                break
             in_flight = self._collect(stats, round_index=rounds)
 
         outputs = {
@@ -161,6 +177,11 @@ class Runtime:
                 stats.record(msg.tag)
                 queued.append(msg)
         return queued
+
+    def _discard_undelivered(self) -> None:
+        """Drop queued sends that have no delivery round left (unmetered)."""
+        for ctx in self._contexts:
+            ctx._drain()
 
     def _all_halted(self) -> bool:
         return all(ctx.halted for ctx in self._contexts)

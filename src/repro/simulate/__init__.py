@@ -18,7 +18,12 @@ use it); :mod:`repro.simulate.direct` and :mod:`repro.simulate.gossip`
 provide the baselines the paper compares against.
 """
 
-from repro.simulate.tlocal import FloodReport, t_local_broadcast
+from repro.simulate.tlocal import (
+    FloodReport,
+    FloodSchedule,
+    flood_schedule,
+    t_local_broadcast,
+)
 from repro.simulate.transformer import SimulationOutcome, simulate_over_spanner
 from repro.simulate.scheme import SchemeReport, run_one_stage, theorem3_params
 from repro.simulate.two_stage import TwoStageReport, run_two_stage
@@ -27,10 +32,12 @@ from repro.simulate.gossip import GossipEstimate, gossip_estimate
 
 __all__ = [
     "FloodReport",
+    "FloodSchedule",
     "GossipEstimate",
     "SchemeReport",
     "SimulationOutcome",
     "TwoStageReport",
+    "flood_schedule",
     "gossip_estimate",
     "run_direct_baseline",
     "run_one_stage",

@@ -85,11 +85,15 @@ def run_one_stage(
     gamma: int = 1,
     params: SamplerParams | None = None,
     seed: int = 0,
+    engine: str = "fast",
 ) -> SchemeReport:
     """Simulate ``algo`` with the spanner-based scheme, metering both stages.
 
     ``params`` overrides the Theorem 3 parameter choice when supplied
-    (used by experiments that tune the practical constants).
+    (used by experiments that tune the practical constants).  ``engine``
+    selects the simulation-stage implementation: the array-native
+    ``"fast"`` path or the literal ``"runtime"`` baseline; both produce
+    identical reports (DESIGN.md §3.5).
     """
     sampler_params = params if params is not None else theorem3_params(gamma, seed=seed)
     spanner = build_spanner_distributed(network, sampler_params)
@@ -99,5 +103,6 @@ def run_one_stage(
         alpha=spanner.stretch_bound,
         algo=algo,
         seed=seed,
+        engine=engine,
     )
     return SchemeReport(outputs=simulation.outputs, spanner=spanner, simulation=simulation)

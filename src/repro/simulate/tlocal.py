@@ -9,10 +9,27 @@ travelling over an edge in the same round are aggregated into one
 message (the LOCAL model does not meter message size), so the total is
 at most ``2 |S| * alpha * t`` — the bound used in the proof of
 Lemma 12.
+
+Two engines compute the outcome (DESIGN.md §3.5):
+
+* ``engine="fast"`` (default) derives the :class:`FloodReport` directly
+  from CSR frontier sweeps: the flood is a deterministic function of the
+  spanner and the radius, so collected sets are radius-balls in ``H``
+  and the exact message counts follow from first-learn rounds — node
+  ``v`` forwards on all of its ``deg(v)`` ports in round ``r`` iff some
+  item first reached it in round ``r``, i.e. iff ``r`` is at most ``v``'s
+  (radius-capped) eccentricity in ``H``.  No ``Inbound``/``Outbound``
+  object is ever allocated.
+* ``engine="runtime"`` runs the literal :class:`_FloodProgram` on the
+  synchronous kernel — the equivalence baseline (DESIGN.md §3.4 keeps
+  every optimized path's seed behaviour reachable); the test suite
+  asserts report equality between the engines across graph families,
+  radii, and seeds.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -22,7 +39,9 @@ from repro.local.network import Network
 from repro.local.node import Context, NodeProgram
 from repro.local.runtime import run_program
 
-__all__ = ["FloodReport", "t_local_broadcast"]
+__all__ = ["FloodReport", "FloodSchedule", "flood_schedule", "t_local_broadcast"]
+
+FLOOD_ENGINES = ("fast", "runtime")
 
 
 @dataclass(frozen=True)
@@ -36,6 +55,26 @@ class FloodReport:
     @property
     def total_messages(self) -> int:
         return self.messages.total
+
+
+@dataclass(frozen=True)
+class FloodSchedule:
+    """Array-native flood summary: who learns what, and what it costs.
+
+    ``balls[v]`` is the set of origins ``v`` collects (its radius-ball in
+    the spanner, itself included); ``ecc[v]`` is ``v``'s radius-capped
+    eccentricity — the last round in which anything *new* reached ``v``,
+    hence the last round in which ``v`` forwards.  ``messages``/``rounds``
+    are exactly what the literal runtime meters for the same flood.
+    """
+
+    balls: tuple[frozenset[int], ...]
+    ecc: tuple[int, ...]
+    messages: MessageStats
+    rounds: int
+
+    def mean_ball_size(self) -> float:
+        return sum(len(b) for b in self.balls) / max(1, len(self.balls))
 
 
 class _FloodProgram(NodeProgram):
@@ -71,26 +110,113 @@ class _FloodProgram(NodeProgram):
         return dict(self._known)
 
 
+def flood_schedule(spanner: Network, radius: int) -> FloodSchedule:
+    """Compute the flood's outcome without simulating it.
+
+    One truncated BFS per node over the spanner's cached adjacency
+    yields the collected ball and the capped eccentricity; the exact
+    per-round message counts follow in one suffix-sum pass:
+
+    * round 0 sends one message per port at every node (``2|S|`` total);
+    * round ``1 <= r < radius`` sends ``deg(v)`` messages for every
+      ``v`` whose BFS layer ``r`` is non-empty, i.e. ``ecc[v] >= r``;
+    * round ``radius`` sends are never delivered and are not metered
+      (the runtime discards them the same way).
+    """
+    n = spanner.n
+    adjacency = [spanner.neighbors(v) for v in range(n)]
+    degs = [len(a) for a in adjacency]
+    balls: list[frozenset[int]] = []
+    ecc = [0] * n
+    # Frontier-list BFS rather than analysis.stretch.bfs_distances: this
+    # is the flood kernel's inner loop, and skipping the per-node deque
+    # traffic and distance dict measures ~3x faster at bench scale.
+    for source in range(n):
+        ball = {source}
+        frontier = [source]
+        reached = 0
+        for r in range(1, radius + 1):
+            layer: list[int] = []
+            for u in frontier:
+                for w in adjacency[u]:
+                    if w not in ball:
+                        ball.add(w)
+                        layer.append(w)
+            if not layer:
+                break
+            reached = r
+            frontier = layer
+        ecc[source] = reached
+        balls.append(frozenset(ball))
+
+    stats = MessageStats()
+    if radius > 0:
+        per_round = [0] * (radius + 1)
+        per_round[0] = sum(degs)
+        if radius > 1:
+            # deg mass by capped eccentricity, then suffix-sum so
+            # per_round[r] = sum of deg(v) over v with ecc[v] >= r.
+            deg_by_ecc = [0] * (radius + 1)
+            for v in range(n):
+                deg_by_ecc[ecc[v]] += degs[v]
+            running = 0
+            for e in range(radius, 0, -1):
+                running += deg_by_ecc[e]
+                if e < radius:
+                    per_round[e] = running
+        total = sum(per_round)
+        stats.total = total
+        stats.per_round = per_round
+        if total:
+            stats.by_tag = Counter({"flood": total})
+    else:
+        stats.per_round = [0]
+    return FloodSchedule(
+        balls=tuple(balls),
+        ecc=tuple(ecc),
+        messages=stats,
+        rounds=max(0, radius),
+    )
+
+
 def t_local_broadcast(
     spanner: Network,
     payload_of: Callable[[int], Any],
     radius: int,
     *,
     seed: int = 0,
+    engine: str = "fast",
 ) -> FloodReport:
     """Flood each node's payload ``radius`` hops through ``spanner``.
 
     ``spanner`` is typically ``network.subnetwork(S)``; payloads opaque.
+    ``engine="fast"`` derives the report from CSR sweeps
+    (:func:`flood_schedule`); ``engine="runtime"`` runs the literal
+    node-program simulation.  Both produce equal reports.
     """
-    report = run_program(
-        spanner,
-        lambda node: _FloodProgram(node, payload_of(node), radius),
-        seed=seed,
-        fixed_rounds=radius,
-        max_rounds=radius + 1,
-    )
+    if engine not in FLOOD_ENGINES:
+        raise ValueError(f"unknown flood engine {engine!r}; expected one of {FLOOD_ENGINES}")
+    if engine == "runtime":
+        report = run_program(
+            spanner,
+            lambda node: _FloodProgram(node, payload_of(node), radius),
+            seed=seed,
+            fixed_rounds=radius,
+            max_rounds=radius + 1,
+        )
+        return FloodReport(
+            collected=report.outputs,
+            messages=report.messages,
+            rounds=report.rounds,
+        )
+    schedule = flood_schedule(spanner, radius)
+    payloads = [payload_of(v) for v in range(spanner.n)]
+    collected = {
+        v: {origin: payloads[origin] for origin in ball}
+        for v, ball in enumerate(schedule.balls)
+    }
     return FloodReport(
-        collected=report.outputs,
-        messages=report.messages,
-        rounds=report.rounds,
+        collected=collected,
+        messages=schedule.messages,
+        rounds=schedule.rounds,
     )

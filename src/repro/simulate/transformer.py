@@ -17,6 +17,21 @@ Node randomness is re-derived from ``(seed, "tape", node)``, identical
 to the direct runner's derivation, so the simulated outputs equal the
 direct outputs *bit for bit* — the property the test suite asserts for
 every payload algorithm.
+
+Engines (DESIGN.md §3.5).  ``engine="runtime"`` is the literal
+reference: a simulated flood, then one independent replay per center,
+each rebuilding its own ``owners``/``endpoint_of`` maps from the
+collected reports.  ``engine="fast"`` (default) exploits that the
+replays are all prefixes of one deterministic execution: the flood's
+first-learn schedule (:func:`~repro.simulate.tlocal.flood_schedule`)
+gives every center's collected ball, the reconstruction every center
+would perform is the network's own adjacency restricted to that ball,
+and whenever the ball covers ``B_t(center)`` the center's replayed
+output equals the shared global replay's.  So the fast path runs *one*
+``t``-round replay over the shared adjacency and hands every covered
+center its output; only centers whose collected ball fails to cover
+``B_t`` (an under-flooded radius) fall back to the literal per-center
+replay, keeping the two engines output-identical in every case.
 """
 
 from __future__ import annotations
@@ -26,10 +41,16 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 from repro.algorithms.base import LocalAlgorithm, NodeInit
-from repro.algorithms.runner import node_tape
+from repro.algorithms.runner import node_tape, run_inprocess
 from repro.local.metrics import MessageStats
 from repro.local.network import Network
-from repro.simulate.tlocal import FloodReport, t_local_broadcast
+from repro.simulate.tlocal import (
+    FLOOD_ENGINES,
+    FloodReport,
+    FloodSchedule,
+    flood_schedule,
+    t_local_broadcast,
+)
 
 __all__ = ["SimulationOutcome", "simulate_over_spanner", "replay_ball"]
 
@@ -57,29 +78,101 @@ def simulate_over_spanner(
     seed: int = 0,
     *,
     radius: int | None = None,
+    engine: str = "fast",
 ) -> SimulationOutcome:
     """Run ``algo`` via ``t``-local broadcast over the given spanner."""
+    if engine not in FLOOD_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {FLOOD_ENGINES}")
     t = algo.rounds(network.n)
     flood_radius = radius if radius is not None else alpha * t
     spanner = network.subnetwork(spanner_edges)
-    flood: FloodReport = t_local_broadcast(
-        spanner,
-        payload_of=lambda node: tuple(network.incident(node)),
-        radius=flood_radius,
-        seed=seed,
-    )
-    outputs = {
-        node: replay_ball(algo, node, flood.collected[node], t, seed, network.n)
-        for node in network.nodes()
-    }
-    mean_reports = sum(len(r) for r in flood.collected.values()) / max(1, network.n)
+    if engine == "runtime":
+        flood: FloodReport = t_local_broadcast(
+            spanner,
+            payload_of=lambda node: tuple(network.incident(node)),
+            radius=flood_radius,
+            seed=seed,
+            engine="runtime",
+        )
+        outputs = {
+            node: replay_ball(algo, node, flood.collected[node], t, seed, network.n)
+            for node in network.nodes()
+        }
+        mean_reports = sum(len(r) for r in flood.collected.values()) / max(1, network.n)
+        return SimulationOutcome(
+            outputs=outputs,
+            messages=flood.messages,
+            rounds=flood.rounds,
+            radius=flood_radius,
+            mean_reports=mean_reports,
+        )
+    schedule = flood_schedule(spanner, flood_radius)
+    outputs = _replay_shared(network, algo, t, seed, schedule)
     return SimulationOutcome(
         outputs=outputs,
-        messages=flood.messages,
-        rounds=flood.rounds,
+        messages=schedule.messages,
+        rounds=schedule.rounds,
         radius=flood_radius,
-        mean_reports=mean_reports,
+        mean_reports=schedule.mean_ball_size(),
     )
+
+
+def _replay_shared(
+    network: Network,
+    algo: LocalAlgorithm,
+    t: int,
+    seed: int,
+    schedule: FloodSchedule,
+) -> dict[int, Any]:
+    """One global replay serving every center whose ball is covered.
+
+    A center whose collected ball contains its exact ``B_t`` in ``G``
+    reconstructs precisely the network's adjacency restricted to that
+    ball, and by the locality argument its per-center replay equals the
+    global one — so those centers share a single ``t``-round execution.
+    Centers left uncovered by the flood (radius below ``alpha * t``, or
+    a non-spanner edge set) replay literally on their partial ball, which
+    keeps this path output-identical to ``engine="runtime"`` always.
+    """
+    n = network.n
+    balls = schedule.balls
+    uncovered: list[int] = []
+    neighbors: list[tuple[int, ...]] | None = None
+    for center in range(n):
+        members = balls[center]
+        if len(members) == n:
+            continue  # the collected ball covers any B_t trivially
+        if neighbors is None:
+            neighbors = [network.neighbors(v) for v in range(n)]
+        # Exact B_t(center) in G, truncated BFS over cached adjacency.
+        seen = {center}
+        frontier = [center]
+        ok = True
+        for _ in range(t):
+            if not ok or not frontier:
+                break
+            layer: list[int] = []
+            for u in frontier:
+                for w in neighbors[u]:
+                    if w not in seen:
+                        if w not in members:
+                            ok = False
+                            break
+                        seen.add(w)
+                        layer.append(w)
+                if not ok:
+                    break
+            frontier = layer
+        if not ok:
+            uncovered.append(center)
+
+    # The global replay serves the covered centers; skip it when the
+    # flood covered nobody (every output would be overwritten below).
+    outputs = {} if len(uncovered) == n else run_inprocess(network, algo, seed)
+    for center in uncovered:
+        reports = {x: network.incident(x) for x in balls[center]}
+        outputs[center] = replay_ball(algo, center, reports, t, seed, n)
+    return outputs
 
 
 def replay_ball(
@@ -94,7 +187,9 @@ def replay_ball(
 
     ``reports`` maps node ids to their incident edge-id tuples; it must
     cover at least ``B_t(center)`` (guaranteed by flooding an
-    ``alpha``-spanner for ``alpha * t`` rounds).
+    ``alpha``-spanner for ``alpha * t`` rounds).  This is the literal
+    per-center reconstruction the paper describes; the fast engine calls
+    it only for centers the flood failed to cover.
     """
     # Reconstruct adjacency: an edge id reported twice joins its reporters.
     owners: dict[int, list[int]] = {}

@@ -77,8 +77,14 @@ def run_two_stage(
     stage1_params: SamplerParams,
     stage2_k: int = 3,
     seed: int = 0,
+    engine: str = "fast",
 ) -> TwoStageReport:
-    """Run the full two-stage pipeline, metering every stage."""
+    """Run the full two-stage pipeline, metering every stage.
+
+    ``engine`` selects the simulation-stage implementation for both
+    simulated stages — ``"fast"`` (array-native flood + shared replay)
+    or ``"runtime"`` (the literal baseline); reports are identical.
+    """
     stage1 = build_spanner_distributed(network, stage1_params)
 
     stage2_algo = BaswanaSenLocal(k=stage2_k, coin_seed=seed)
@@ -88,6 +94,7 @@ def run_two_stage(
         alpha=stage1.stretch_bound,
         algo=stage2_algo,
         seed=seed,
+        engine=engine,
     )
     stage2_edges: set[int] = set()
     for added in stage2_sim.outputs.values():
@@ -99,6 +106,7 @@ def run_two_stage(
         alpha=stage2_algo.stretch_bound,
         algo=algo,
         seed=seed,
+        engine=engine,
     )
     return TwoStageReport(
         outputs=payload_sim.outputs,

@@ -53,10 +53,22 @@ class TestAdjacentPairStretch:
         assert report.pairs_measured == 50
         assert report.max_stretch == 1.0
 
-    def test_cutoff_counts_far_pairs_unreachable(self, cycle6):
+    def test_cutoff_separates_far_pairs_from_unreachable(self, cycle6):
+        # the detour pair sits at distance 5 > cutoff: truncated, not
+        # disconnected — it must not flip the connectivity verdict
         spanner = [e for e in cycle6.edge_ids if e != 0]
         report = adjacent_pair_stretch(cycle6, spanner, cutoff=3)
-        assert report.unreachable_pairs == 1
+        assert report.beyond_cutoff == 1
+        assert report.unreachable_pairs == 0
+        assert report.ok
+
+    def test_cutoff_still_detects_true_disconnection(self, cycle6):
+        # only edges 0 and 1 kept: most pairs are provably disconnected
+        # even under a cutoff, because their BFS exhausts the component
+        spanner = list(cycle6.edge_ids)[:2]
+        report = adjacent_pair_stretch(cycle6, spanner, cutoff=4)
+        assert report.unreachable_pairs > 0
+        assert not report.ok
 
 
 class TestPairwiseStretch:

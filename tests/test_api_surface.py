@@ -41,6 +41,17 @@ class TestMessageStats:
         assert stats.per_round == [2, 1]
         assert stats.rounds_with_traffic == 2
 
+    def test_record_before_open_round_keeps_invariant(self):
+        # a record with no open round lands in an implicit round 0
+        # rather than silently vanishing from per_round
+        stats = MessageStats()
+        stats.record("early")
+        assert stats.per_round == [1]
+        stats.open_round()
+        stats.record("late")
+        assert stats.per_round == [1, 1]
+        assert sum(stats.per_round) == stats.total == 2
+
     def test_merge(self):
         a, b = MessageStats(), MessageStats()
         a.open_round(); a.record("x")

@@ -1,0 +1,159 @@
+"""Engine-equivalence tests for the fast flood (DESIGN.md §3.5).
+
+The fast engine derives :class:`FloodReport` from CSR frontier sweeps;
+``engine="runtime"`` simulates the literal ``_FloodProgram``.  The
+contract: *equal reports* — collected sets, rounds, and the full
+``MessageStats`` (total, ``by_tag``, ``per_round``) — on every tested
+family × radius × seed combination, and identical simulation outcomes
+through :func:`simulate_over_spanner` either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BallCollect, LubyMis, MinIdAggregation, run_direct
+from repro.analysis.stretch import bfs_distances
+from repro.core import SamplerParams, build_spanner
+from repro.graphs import barabasi_albert, erdos_renyi, torus
+from repro.simulate import (
+    flood_schedule,
+    run_one_stage,
+    run_two_stage,
+    simulate_over_spanner,
+    t_local_broadcast,
+)
+
+FAMILIES = [
+    ("gnp", lambda seed: erdos_renyi(60, 0.1, seed=seed)),
+    ("torus", lambda seed: torus(7, 7)),
+    ("ba", lambda seed: barabasi_albert(60, 3, seed=seed)),
+]
+
+
+def _spanner_sub(net, seed):
+    result = build_spanner(net, SamplerParams(k=1, h=2, seed=seed))
+    return net.subnetwork(result.edges), result
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("family,make", FAMILIES, ids=[f[0] for f in FAMILIES])
+    @pytest.mark.parametrize("radius", [0, 1, 2, 3, 6])
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_flood_reports_equal(self, family, make, radius, seed):
+        net = make(seed)
+        sub, _ = _spanner_sub(net, seed)
+        fast = t_local_broadcast(sub, lambda v: (v, "p"), radius, engine="fast")
+        slow = t_local_broadcast(sub, lambda v: (v, "p"), radius, engine="runtime")
+        assert fast.collected == slow.collected
+        assert fast.rounds == slow.rounds
+        assert fast.messages.total == slow.messages.total
+        assert fast.messages.by_tag == slow.messages.by_tag
+        assert fast.messages.per_round == slow.messages.per_round
+        assert fast == slow  # full dataclass equality, nothing forgotten
+
+    @pytest.mark.parametrize("family,make", FAMILIES, ids=[f[0] for f in FAMILIES])
+    def test_simulation_outcomes_equal(self, family, make):
+        net = make(3)
+        sub, result = _spanner_sub(net, 3)
+        for algo in (BallCollect(2), MinIdAggregation(2), LubyMis(phases=3)):
+            fast = simulate_over_spanner(
+                net, result.edges, result.stretch_bound, algo, seed=11, engine="fast"
+            )
+            slow = simulate_over_spanner(
+                net, result.edges, result.stretch_bound, algo, seed=11, engine="runtime"
+            )
+            assert fast.outputs == slow.outputs
+            assert fast.messages == slow.messages
+            assert fast.rounds == slow.rounds
+            assert fast.radius == slow.radius
+            assert fast.mean_reports == slow.mean_reports
+
+    def test_under_flooded_radius_still_matches_runtime(self):
+        """With a radius below alpha*t some balls are not covered; the
+        fast path must fall back to the literal per-center replay and
+        stay output-identical to the runtime engine."""
+        net = erdos_renyi(40, 0.08, seed=9)
+        sub, result = _spanner_sub(net, 9)
+        algo = BallCollect(2)
+        for radius in (0, 1, 2):
+            fast = simulate_over_spanner(
+                net, result.edges, result.stretch_bound, algo,
+                seed=7, radius=radius, engine="fast",
+            )
+            slow = simulate_over_spanner(
+                net, result.edges, result.stretch_bound, algo,
+                seed=7, radius=radius, engine="runtime",
+            )
+            assert fast.outputs == slow.outputs
+            assert fast.messages == slow.messages
+
+    def test_unknown_engine_rejected(self):
+        net = torus(4, 4)
+        with pytest.raises(ValueError):
+            t_local_broadcast(net, lambda v: v, 2, engine="warp")
+        with pytest.raises(ValueError):
+            simulate_over_spanner(net, net.edge_ids, 1, BallCollect(1), engine="warp")
+
+
+class TestFloodSchedule:
+    def test_balls_are_radius_balls(self):
+        net = erdos_renyi(50, 0.09, seed=4)
+        sub, _ = _spanner_sub(net, 4)
+        adj = [sub.neighbors(v) for v in sub.nodes()]
+        schedule = flood_schedule(sub, 3)
+        for v in sub.nodes():
+            assert schedule.balls[v] == frozenset(bfs_distances(adj, v, cutoff=3))
+
+    def test_ecc_is_capped_eccentricity(self):
+        net = torus(5, 5)  # diameter 4 (wraparound grid)
+        schedule = flood_schedule(net, 10)
+        assert all(e == 4 for e in schedule.ecc)
+        capped = flood_schedule(net, 3)
+        assert all(e == 3 for e in capped.ecc)
+
+    def test_message_stats_invariants(self):
+        net = erdos_renyi(50, 0.09, seed=4)
+        sub, _ = _spanner_sub(net, 4)
+        schedule = flood_schedule(sub, 4)
+        stats = schedule.messages
+        assert sum(stats.per_round) == stats.total
+        assert stats.per_round[0] == 2 * sub.m
+        assert stats.per_round[-1] == 0  # final-round sends are undelivered
+        assert stats.by_tag["flood"] == stats.total
+        assert stats.total <= 2 * sub.m * 4
+
+    def test_zero_radius(self):
+        net = torus(4, 4)
+        schedule = flood_schedule(net, 0)
+        assert schedule.messages.total == 0
+        assert schedule.rounds == 0
+        assert all(ball == {v} for v, ball in enumerate(schedule.balls))
+
+
+class TestSchemesThroughEngines:
+    """The one- and two-stage pipelines accept the engine switch and
+    produce identical reports either way (outputs also equal direct)."""
+
+    def test_one_stage(self):
+        net = erdos_renyi(60, 0.18, seed=14)
+        algo = MinIdAggregation(2)
+        params = SamplerParams(k=1, h=2, seed=5)
+        fast = run_one_stage(net, algo, params=params, seed=2, engine="fast")
+        slow = run_one_stage(net, algo, params=params, seed=2, engine="runtime")
+        direct = run_direct(net, algo, seed=2)
+        assert fast.outputs == slow.outputs == direct.outputs
+        assert fast.total_messages == slow.total_messages
+        assert fast.total_rounds == slow.total_rounds
+
+    def test_two_stage(self):
+        net = erdos_renyi(60, 0.18, seed=14)
+        algo = BallCollect(2)
+        params = SamplerParams(k=1, h=2, seed=5)
+        fast = run_two_stage(net, algo, stage1_params=params, stage2_k=2, seed=2, engine="fast")
+        slow = run_two_stage(net, algo, stage1_params=params, stage2_k=2, seed=2, engine="runtime")
+        direct = run_direct(net, algo, seed=2)
+        assert fast.outputs == slow.outputs == direct.outputs
+        assert fast.stage2_edges == slow.stage2_edges
+        assert fast.total_messages == slow.total_messages
+        assert fast.total_rounds == slow.total_rounds

@@ -81,6 +81,55 @@ class TestTermination:
         assert not report.halted
 
 
+class Chatter(NodeProgram):
+    """Sends on every port every round; counts what it receives."""
+
+    def __init__(self) -> None:
+        self.received = 0
+
+    def on_start(self, ctx):
+        for port in ctx.ports:
+            ctx.send(port, "x", tag="chat")
+
+    def on_round(self, ctx, inbox):
+        self.received += len(inbox)
+        for port in ctx.ports:
+            ctx.send(port, "x", tag="chat")
+
+    def output(self):
+        return self.received
+
+
+class TestFixedRoundsMetering:
+    """Metered messages must equal *delivered* messages (the Lemma 12
+    counts would otherwise be inflated by a full round of undelivered
+    final-round sends)."""
+
+    def test_metered_equals_delivered(self, path4):
+        report = run_program(path4, lambda n: Chatter(), seed=0, fixed_rounds=3)
+        delivered = sum(report.outputs.values())
+        assert report.messages.total == delivered
+        # 3 delivery rounds, one send per edge direction per round
+        assert delivered == 3 * 2 * path4.m
+        assert report.messages.per_round == [2 * path4.m] * 3 + [0]
+
+    def test_metered_equals_delivered_er(self, er_small):
+        report = run_program(er_small, lambda n: Chatter(), seed=0, fixed_rounds=2)
+        assert report.messages.total == sum(report.outputs.values())
+
+    def test_zero_fixed_rounds_meters_nothing(self, path4):
+        report = run_program(path4, lambda n: Chatter(), seed=0, fixed_rounds=0)
+        assert report.rounds == 0
+        assert report.messages.total == 0
+        assert sum(report.outputs.values()) == 0
+
+    def test_per_round_invariant_fixed_and_halting(self, path4):
+        fixed = run_program(path4, lambda n: Chatter(), seed=0, fixed_rounds=4)
+        assert sum(fixed.messages.per_round) == fixed.messages.total
+        halting = run_program(path4, lambda n: Echo(rounds=2), seed=0)
+        assert sum(halting.messages.per_round) == halting.messages.total
+
+
 class TestHaltSemantics:
     def test_send_after_halt_raises(self, path4):
         class Bad(NodeProgram):
@@ -218,10 +267,33 @@ class TestContextKnowledge:
 
 class TestFaults:
     def test_rule_based_drop(self, path4):
-        plan = FaultPlan(rule=lambda round_index, eid: True)
+        plan = FaultPlan(rule=lambda round_index, eid, sender: True)
         report = run_program(path4, lambda n: Echo(), seed=0, faults=plan)
         assert report.messages.total == 0
         assert report.messages.dropped == 2 * path4.m
+
+    def test_rule_receives_sender(self, path4):
+        """The rule sees the direction of travel: dropping everything one
+        node sends halves that node's contribution but nothing else."""
+        plan = FaultPlan(rule=lambda round_index, eid, sender: sender == 0)
+        report = run_program(path4, lambda n: Echo(), seed=0, faults=plan)
+        # node 0 has degree 1 on the path; exactly its one send is lost
+        assert report.messages.dropped == 1
+        assert report.messages.total == 2 * path4.m - 1
+
+    def test_both_drop_paths_are_deterministic(self, er_small):
+        """Rule-based and coin-based drops reproduce bit-for-bit."""
+        plan = FaultPlan(
+            drop_probability=0.3,
+            seed=3,
+            rule=lambda round_index, eid, sender: (eid + sender) % 7 == 0,
+        )
+        r1 = run_program(er_small, lambda n: Echo(), seed=0, faults=plan)
+        r2 = run_program(er_small, lambda n: Echo(), seed=0, faults=plan)
+        assert r1.messages.dropped == r2.messages.dropped
+        assert r1.messages.total == r2.messages.total
+        assert r1.outputs == r2.outputs
+        assert r1.messages.dropped > 0
 
     def test_probabilistic_drop_is_deterministic(self, er_small):
         plan = FaultPlan(drop_probability=0.5, seed=3)
