@@ -60,6 +60,7 @@ class _AlgorithmProgram(NodeProgram):
         self._state: Any = None
         self._out: Any = None
         self._round = 0
+        self._precomputed = False
 
     def on_start(self, ctx: Context) -> None:
         info = NodeInit(node=ctx.node, ports=tuple(ctx.ports), n=ctx.n_hint)
@@ -67,10 +68,29 @@ class _AlgorithmProgram(NodeProgram):
         self._state, outbox = self._algo.step(self._state, 0, {})
         if self._t == 0:
             self._finish(ctx)
-        else:
-            self._emit(ctx, outbox)
+            return
+        self._emit(ctx, outbox)
+        if not ctx.ports:
+            # An isolated node can never receive, so every remaining
+            # step sees an empty inbox and is computable right now; the
+            # node then sleeps until its halting round t, keeping the
+            # run's round count identical to dense stepping.
+            for r in range(1, self._t + 1):
+                self._state, outbox = self._algo.step(self._state, r, {})
+                if r < self._t:
+                    self._emit(ctx, outbox)
+            self._out = self._algo.output(self._state)
+            self._precomputed = True
+            ctx.sleep_until(self._t)
 
     def on_round(self, ctx: Context, inbox: Sequence[Inbound]) -> None:
+        if self._precomputed:
+            # Output is ready; halt only at the halting round t so the
+            # dense scheduler (which still steps this node every round)
+            # reports the same rounds as the active one.
+            if ctx.round >= self._t:
+                ctx.halt()
+            return
         self._round += 1
         r = self._round
         packed: dict[int, Any] = {}
@@ -98,7 +118,13 @@ class _AlgorithmProgram(NodeProgram):
         ctx.halt()
 
 
-def run_direct(network: Network, algo: LocalAlgorithm, seed: int = 0) -> DirectOutcome:
+def run_direct(
+    network: Network,
+    algo: LocalAlgorithm,
+    seed: int = 0,
+    *,
+    scheduler: str = "active",
+) -> DirectOutcome:
     """Execute on the kernel; messages and rounds are metered exactly."""
     t = algo.rounds(network.n)
     report: RunReport = run_program(
@@ -106,6 +132,7 @@ def run_direct(network: Network, algo: LocalAlgorithm, seed: int = 0) -> DirectO
         lambda node: _AlgorithmProgram(node, algo, seed, t),
         seed=seed,
         max_rounds=t + 2,
+        scheduler=scheduler,
     )
     return DirectOutcome(outputs=report.outputs, messages=report.messages, rounds=report.rounds)
 

@@ -79,7 +79,24 @@ def run_e8(scale: str = "quick") -> TableResult:
         "construction cost is a one-off; it amortizes over every payload run "
         "on the same graph (the paper's free-lunch reading)"
     )
+    # Per-round traffic of the last case, read per stage through the
+    # merged stats' stage_offsets (a flat read of the concatenated
+    # per_round would misattribute simulation rounds to construction).
+    table.add_note(
+        f"per-round peaks ({name}): "
+        + _stage_peaks_note(("construction", "simulation"), scheme.combined_messages)
+    )
     return table
+
+
+def _stage_peaks_note(labels, combined) -> str:
+    """Render each merged stage's peak round traffic via stage_offsets."""
+    peaks = []
+    for label, series in zip(labels, combined.stage_slices()):
+        peak = max(series, default=0)
+        at = series.index(peak) if series else 0
+        peaks.append(f"{label} {peak:,} msgs @ round {at}")
+    return ", ".join(peaks) + f" (stage offsets {combined.stage_offsets})"
 
 
 def run_e9(scale: str = "quick") -> TableResult:
@@ -130,6 +147,12 @@ def run_e9(scale: str = "quick") -> TableResult:
         f"{two.stage2_sim.rounds} rounds over the stage-1 spanner"
     )
     table.add_note("per-payload flooding cost drops with the sparser stage-2 spanner")
+    table.add_note(
+        "per-round peaks: "
+        + _stage_peaks_note(
+            ("stage1", "stage2-sim", "payload-sim"), two.combined_messages
+        )
+    )
     return table
 
 

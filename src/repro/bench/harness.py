@@ -7,6 +7,8 @@ Examples::
     python -m repro.bench --experiment all --scale full --out results.txt
     python -m repro.bench --perf                    # time kernels, write BENCH_core.json
     python -m repro.bench --perf --check            # fail on >25% regression
+    python -m repro.bench --perf --check --filter "spanner/*,flood/*"
+    python -m repro.bench --perf --repeats 3        # override best-of counts
 """
 
 from __future__ import annotations
@@ -19,6 +21,14 @@ from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.tables import format_table
 
 __all__ = ["main"]
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        # 0 repeats would time nothing and record infinite kernel times
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return parsed
 
 
 def _experiment_key(name: str) -> tuple[int, object]:
@@ -68,6 +78,21 @@ def main(argv: list[str] | None = None) -> int:
         "--bench-file",
         default=None,
         help="perf baseline path (default: BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--filter",
+        default=None,
+        metavar="GLOB",
+        help="with --perf: run only kernels matching these comma-"
+        "separated fnmatch globs (e.g. 'spanner/*,flood/*'); with "
+        "--check, only matching kernels are compared",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="with --perf: override every kernel's best-of repeat count",
     )
     parser.add_argument(
         "--update-readme",

@@ -1,27 +1,40 @@
 """The performance-regression harness (``python -m repro.bench --perf``).
 
 Times the simulator's hot kernels — centralized spanner construction on
-three graph families × three sizes, the fast flood engine on a spanner
-of each family (``flood/*``), and the end-to-end one- and two-stage
-message-reduction schemes on each family — and records the results in
-``BENCH_core.json`` at the repo root.  Every future PR then has a
-trajectory to beat:
+three graph families × three sizes, the *distributed* construction under
+the active scheduler with its dense baseline (``spanner_dist/*``), the
+fast flood engine on a spanner of each family (``flood/*``), and the
+end-to-end one- and two-stage message-reduction schemes on each family —
+and records the results in ``BENCH_core.json`` at the repo root.  Every
+future PR then has a trajectory to beat:
 
 * ``--perf``            run the suite, print a table, write the JSON;
 * ``--perf --check``    run the suite and exit non-zero if any kernel is
   more than :data:`REGRESSION_TOLERANCE` slower than the committed file;
+* ``--perf --filter G`` run only kernels matching the comma-separated
+  fnmatch globs ``G`` (with ``--check``: compare only those kernels);
+* ``--perf --repeats N``  override every kernel's best-of count;
 * ``--perf --update-readme``  regenerate the README's Performance
   section from the freshly measured numbers.
+
+The JSON also records environment metadata (python version, platform,
+machine) so baseline numbers can be interpreted across hosts; metadata
+never participates in the regression check.
 
 The flagship kernel (``spanner/gnp/n2000`` — ``G(n=2000)`` at average
 degree 8) is additionally timed under the seed recount strategy
 (``build_spanner(..., incremental=False)``) so the optimized/seed
-speedup is recorded alongside the absolute numbers.
+speedup is recorded alongside the absolute numbers.  The
+``spanner_dist/*`` kernels carry the analogous comparison for the round
+engine: each entry's ``baseline_seconds``/``speedup`` time the same
+input under ``scheduler="dense"`` (DESIGN.md §3.6).
 """
 
 from __future__ import annotations
 
+import fnmatch
 import json
+import platform
 import sys
 import time
 from dataclasses import dataclass
@@ -29,6 +42,7 @@ from typing import Callable
 
 from repro.algorithms import BallCollect
 from repro.core import SamplerParams, build_spanner
+from repro.core.distributed import build_spanner_distributed
 from repro.graphs import barabasi_albert, erdos_renyi, torus
 from repro.local.network import Network
 from repro.simulate import run_one_stage, run_two_stage, t_local_broadcast
@@ -39,6 +53,7 @@ __all__ = [
     "run_perf_suite",
     "check_against",
     "format_report",
+    "parse_filter",
     "render_readme_section",
     "update_readme",
 ]
@@ -54,12 +69,17 @@ _SCHEME_PARAMS = SamplerParams(k=1, h=3, seed=19, c_query=0.7, c_target=1.0)
 @dataclass(frozen=True)
 class Kernel:
     """One timed unit of work: ``build()`` makes the input (untimed),
-    ``run(input)`` is the measured body."""
+    ``run(input)`` is the measured body.  An optional ``baseline``
+    callable is timed alongside on the same input and recorded as
+    ``baseline_seconds`` plus the resulting ``speedup`` — used by the
+    ``spanner_dist/*`` kernels to pin active- vs dense-scheduler cost.
+    """
 
     name: str
     build: Callable[[], Network]
     run: Callable[[Network], object]
     repeats: int = 5  # best-of; sub-100ms kernels need the extra samples
+    baseline: Callable[[Network], object] | None = None
 
 
 def _gnp(n: int) -> Network:
@@ -87,6 +107,17 @@ def _one_stage(net: Network) -> object:
 FLOOD_RADIUS = 4  # balls reach most of the graph without the collected
 # dicts dwarfing the sweep itself
 
+# spanner_dist/* kernels run the Theorem 11 schedule in its quiescent
+# regime — k ~ log log n, h ~ log n (both paper-legal), sparse inputs —
+# where most trial windows are idle for most nodes; this is exactly the
+# workload the active scheduler exists for, so each kernel also times
+# the dense baseline on the same input (DESIGN.md §3.6).
+_DIST_PARAMS = {
+    "gnp": SamplerParams(k=3, h=11, seed=1),
+    "torus": SamplerParams(k=3, h=10, seed=1),
+    "ba": SamplerParams(k=3, h=11, seed=1),
+}
+
 
 def _spanner_sub(net: Network) -> Network:
     return net.subnetwork(build_spanner(net, _SPANNER_PARAMS).edges)
@@ -96,11 +127,29 @@ def _flood(sub: Network) -> object:
     return t_local_broadcast(sub, lambda v: v, FLOOD_RADIUS)
 
 
+def _spanner_dist(family: str):
+    def run(net: Network) -> object:
+        return build_spanner_distributed(net, _DIST_PARAMS[family])
+
+    return run
+
+
+def _spanner_dist_dense(family: str):
+    def run(net: Network) -> object:
+        return build_spanner_distributed(
+            net, _DIST_PARAMS[family], scheduler="dense"
+        )
+
+    return run
+
+
 def default_kernels() -> list[Kernel]:
-    """3 graph families × 3 sizes of spanner construction, the fast
-    flood engine over a spanner of the largest instance of each family,
-    plus the one- and two-stage schemes (distributed stage 1 + every
-    simulation) on a small instance of each family."""
+    """3 graph families × 3 sizes of spanner construction, the
+    distributed construction (active scheduler vs its dense baseline)
+    on one instance per family, the fast flood engine over a spanner of
+    the largest instance of each family, plus the one- and two-stage
+    schemes (distributed stage 1 + every simulation) on a small and one
+    larger instance."""
     kernels: list[Kernel] = []
     for n in (500, 1000, 2000):
         kernels.append(Kernel(f"spanner/gnp/n{n}", lambda n=n: _gnp(n), _spanner))
@@ -114,6 +163,23 @@ def default_kernels() -> list[Kernel]:
                 f"spanner/ba/n{n}",
                 lambda n=n: barabasi_albert(n, 4, seed=1),
                 _spanner,
+            )
+        )
+    for family, build in (
+        ("gnp", lambda: erdos_renyi(2000, 3 / 1999, seed=1)),
+        ("torus", lambda: torus(32, 32)),
+        ("ba", lambda: barabasi_albert(2000, 2, seed=1)),
+    ):
+        name = "torus/32x32" if family == "torus" else f"{family}/n2000"
+        kernels.append(
+            Kernel(
+                f"spanner_dist/{name}",
+                build,
+                _spanner_dist(family),
+                # best-of-3: the second-long bodies jitter on shared
+                # hosts, and the committed speedup should be steady-state
+                repeats=3,
+                baseline=_spanner_dist_dense(family),
             )
         )
     kernels.append(
@@ -140,6 +206,14 @@ def default_kernels() -> list[Kernel]:
         kernels.append(
             Kernel(f"scheme/two_stage/{name}", build, _two_stage, repeats=2)
         )
+    kernels.append(
+        Kernel(
+            "scheme/one_stage/gnp_n600",
+            lambda: erdos_renyi(600, 8 / 599, seed=29),
+            _one_stage,
+            repeats=2,
+        )
+    )
     return kernels
 
 
@@ -154,22 +228,71 @@ def _best_of(run: Callable[[Network], object], net: Network, repeats: int) -> fl
     return best
 
 
-def run_perf_suite(progress: Callable[[str], None] | None = None) -> dict:
-    """Time every kernel; returns the ``BENCH_core.json`` document."""
-    doc: dict = {"schema": 1, "suite": "core", "kernels": {}}
+def _environment() -> dict:
+    """Host metadata recorded alongside the numbers (never checked)."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def _matches(name: str, patterns: list[str] | None) -> bool:
+    if not patterns:
+        return True
+    return any(fnmatch.fnmatch(name, pattern) for pattern in patterns)
+
+
+def parse_filter(spec: str | None) -> list[str] | None:
+    """``--filter`` value → list of fnmatch globs (comma-separated)."""
+    if not spec:
+        return None
+    patterns = [part.strip() for part in spec.split(",") if part.strip()]
+    return patterns or None
+
+
+def run_perf_suite(
+    progress: Callable[[str], None] | None = None,
+    *,
+    filter_patterns: list[str] | None = None,
+    repeats: int | None = None,
+) -> dict:
+    """Time every kernel (or the ``filter_patterns`` subset); returns
+    the ``BENCH_core.json`` document.  ``repeats`` overrides each
+    kernel's best-of count when given."""
+    doc: dict = {
+        "schema": 1,
+        "suite": "core",
+        "environment": _environment(),
+        "kernels": {},
+    }
     for kernel in default_kernels():
+        if not _matches(kernel.name, filter_patterns):
+            continue
         net = kernel.build()
-        seconds = _best_of(kernel.run, net, kernel.repeats)
-        doc["kernels"][kernel.name] = {
+        best_of = repeats if repeats is not None else kernel.repeats
+        seconds = _best_of(kernel.run, net, best_of)
+        entry = {
             "seconds": round(seconds, 4),
             "n": net.n,
             "m": net.m,
-            "repeats": kernel.repeats,
+            "repeats": best_of,
         }
+        if kernel.baseline is not None:
+            baseline = _best_of(kernel.baseline, net, best_of)
+            entry["baseline_seconds"] = round(baseline, 4)
+            entry["speedup"] = round(baseline / seconds, 2)
+        doc["kernels"][kernel.name] = entry
         if progress:
-            progress(f"{kernel.name}: {seconds:.3f}s (n={net.n}, m={net.m})")
+            line = f"{kernel.name}: {seconds:.3f}s (n={net.n}, m={net.m})"
+            if kernel.baseline is not None:
+                line += (
+                    f"; dense baseline {entry['baseline_seconds']:.3f}s "
+                    f"-> {entry['speedup']:.2f}x"
+                )
+            progress(line)
         if kernel.name == FLAGSHIP:
-            reference = _best_of(_spanner_reference, net, kernel.repeats)
+            reference = _best_of(_spanner_reference, net, best_of)
             doc["flagship"] = {
                 "kernel": FLAGSHIP,
                 "optimized_seconds": round(seconds, 4),
@@ -184,10 +307,20 @@ def run_perf_suite(progress: Callable[[str], None] | None = None) -> dict:
     return doc
 
 
-def check_against(committed: dict, fresh: dict) -> list[str]:
-    """Regressions of ``fresh`` vs ``committed`` beyond the tolerance."""
+def check_against(
+    committed: dict,
+    fresh: dict,
+    filter_patterns: list[str] | None = None,
+) -> list[str]:
+    """Regressions of ``fresh`` vs ``committed`` beyond the tolerance.
+
+    With ``filter_patterns``, only committed kernels matching the globs
+    are compared — kernels excluded by the filter are not "missing".
+    """
     problems: list[str] = []
     for name, entry in committed.get("kernels", {}).items():
+        if not _matches(name, filter_patterns):
+            continue
         now = fresh["kernels"].get(name)
         if now is None:
             problems.append(f"{name}: kernel missing from fresh run")
@@ -205,12 +338,22 @@ def check_against(committed: dict, fresh: dict) -> list[str]:
 
 def format_report(doc: dict) -> str:
     lines = ["== perf: core kernels =="]
-    width = max(len(name) for name in doc["kernels"])
-    for name, entry in doc["kernels"].items():
-        lines.append(
+    kernels = doc["kernels"]
+    if not kernels:
+        lines.append("  (no kernels matched)")
+        return "\n".join(lines)
+    width = max(len(name) for name in kernels)
+    for name, entry in kernels.items():
+        line = (
             f"  {name:<{width}}  {entry['seconds']:8.3f}s   "
             f"n={entry['n']:<6} m={entry['m']}"
         )
+        if "baseline_seconds" in entry:
+            line += (
+                f"   dense {entry['baseline_seconds']:.3f}s "
+                f"({entry['speedup']:.2f}x)"
+            )
+        lines.append(line)
     flagship = doc.get("flagship")
     if flagship:
         lines.append(
@@ -234,12 +377,17 @@ def render_readme_section(doc: dict) -> str:
     lines = [
         README_BEGIN,
         "",
-        "| kernel | n | m | best time |",
-        "|---|---:|---:|---:|",
+        "| kernel | n | m | best time | dense baseline |",
+        "|---|---:|---:|---:|---:|",
     ]
     for name, entry in doc["kernels"].items():
+        if "baseline_seconds" in entry:
+            baseline = f"{entry['baseline_seconds']:.3f}s ({entry['speedup']:.2f}x)"
+        else:
+            baseline = "—"
         lines.append(
-            f"| `{name}` | {entry['n']} | {entry['m']} | {entry['seconds']:.3f}s |"
+            f"| `{name}` | {entry['n']} | {entry['m']} | "
+            f"{entry['seconds']:.3f}s | {baseline} |"
         )
     flagship = doc.get("flagship")
     if flagship:
@@ -251,6 +399,13 @@ def render_readme_section(doc: dict) -> str:
             f"a **{flagship['speedup']:.2f}x** speedup on the same trace-"
             f"identical output."
         )
+    lines.append("")
+    lines.append(
+        "`spanner_dist/*` kernels time the distributed `Sampler` under the "
+        "active-set scheduler; their dense-baseline column times the same "
+        "input with `scheduler=\"dense\"` (identical `RunReport`s, "
+        "DESIGN.md §3.6)."
+    )
     lines.append("")
     lines.append(
         "Regenerate with `PYTHONPATH=src python -m repro.bench --perf "
@@ -280,7 +435,13 @@ def update_readme(doc: dict, readme_path: str = "README.md") -> bool:
 
 def main_perf(args) -> int:
     """Entry point used by ``repro.bench.harness`` for ``--perf``."""
-    doc = run_perf_suite(progress=lambda line: print(f"  .. {line}", flush=True))
+    patterns = parse_filter(getattr(args, "filter", None))
+    repeats = getattr(args, "repeats", None)
+    doc = run_perf_suite(
+        progress=lambda line: print(f"  .. {line}", flush=True),
+        filter_patterns=patterns,
+        repeats=repeats,
+    )
     sys.stdout.write(format_report(doc) + "\n")
     if args.check:
         try:
@@ -291,17 +452,26 @@ def main_perf(args) -> int:
                 f"--check: no committed {args.bench_file}; run --perf first\n"
             )
             return 2
-        problems = check_against(committed, doc)
+        problems = check_against(committed, doc, filter_patterns=patterns)
         if problems:
             sys.stderr.write("perf regressions detected:\n")
             for problem in problems:
                 sys.stderr.write(f"  {problem}\n")
             return 1
+        scope = f" (filter: {', '.join(patterns)})" if patterns else ""
         sys.stdout.write(
             f"perf check OK: no kernel regressed beyond "
-            f"{REGRESSION_TOLERANCE * 100:.0f}% of {args.bench_file}\n"
+            f"{REGRESSION_TOLERANCE * 100:.0f}% of {args.bench_file}{scope}\n"
         )
         return 0
+    if patterns:
+        # A filtered run times a subset; committing it as the baseline
+        # would delete every other kernel's trajectory.
+        sys.stderr.write(
+            "--filter without --check: refusing to overwrite "
+            f"{args.bench_file} with a partial run\n"
+        )
+        return 2
     with open(args.bench_file, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2)
         handle.write("\n")

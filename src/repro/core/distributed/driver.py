@@ -30,9 +30,16 @@ __all__ = ["build_spanner_distributed"]
 
 
 def build_spanner_distributed(
-    network: Network, params: SamplerParams
+    network: Network, params: SamplerParams, *, scheduler: str = "active"
 ) -> SpannerResult:
-    """Execute ``Sampler`` as a real message-passing LOCAL algorithm."""
+    """Execute ``Sampler`` as a real message-passing LOCAL algorithm.
+
+    ``scheduler`` selects the round engine: ``"active"`` (default) steps
+    only nodes with pending messages or due wake rounds — the
+    ``SamplerProgram`` derives its wake set from the global
+    :class:`Schedule` — while ``"dense"`` is the step-everyone seed
+    baseline; both produce identical reports (DESIGN.md §3.6).
+    """
     schedule = Schedule.build(params)
     report = run_program(
         network,
@@ -40,6 +47,7 @@ def build_spanner_distributed(
         seed=params.seed,
         max_rounds=schedule.total_rounds + 2,
         n_hint=network.n,
+        scheduler=scheduler,
     )
     if not report.halted:
         raise SimulationError("distributed Sampler did not halt")

@@ -75,7 +75,7 @@ class SamplerProgram(NodeProgram):
         self._decision: tuple = ()
         self._pending_finish = False
         # bookkeeping
-        self._round = 0
+        self._phase: Phase | None = None
         self._ports: frozenset[int] = frozenset()
         self._archive: list[dict[str, Any]] = []
 
@@ -86,14 +86,22 @@ class SamplerProgram(NodeProgram):
         if ctx.knowledge is Knowledge.KT0:
             raise ProtocolError("Sampler requires unique edge IDs (not KT0)")
         self._ports = frozenset(ctx.ports)
+        # Exact wake rounds derived from the global schedule (DESIGN.md
+        # §3.6): unconditionally a node acts only at GATHER starts and
+        # END.  Leader rounds are registered at each GATHER once
+        # leadership for the level is known, and trial / status / join
+        # follow-ups are registered by the handler of the broadcast that
+        # makes them relevant.  Everything else is message-driven, and
+        # an inbound message wakes a sleeping node on its own.
+        ctx.wake_me_at(self._schedule.skeleton_wake_rounds())
 
     def on_round(self, ctx: Context, inbox: Sequence[Inbound]) -> None:
         if self._finished:
             for msg in inbox:
                 self._handle_reactive(ctx, msg)
             return
-        self._round += 1
-        phase, rel = self._schedule.phase_at(self._round)
+        phase, rel = self._schedule.phase_at(ctx.round)
+        self._phase = phase
         for msg in inbox:
             self._dispatch(ctx, msg)
         self._act(ctx, phase, rel)
@@ -119,12 +127,22 @@ class SamplerProgram(NodeProgram):
         # everything else is stale traffic for a finished node; ignore.
 
     def _dispatch(self, ctx: Context, msg: Inbound) -> None:
+        # Tags ordered by measured frequency (query/response and the
+        # status handshake dominate every run) so the common messages
+        # exit the chain after one or two comparisons.
         tag = msg.tag
         if tag == "query":
             self._answer_query(ctx, msg.port)
         elif tag == "response":
             cid, active, elist = msg.payload
             self._responses.append((msg.port, cid, active, tuple(elist)))
+        elif tag == "status_req":
+            nbr_cid, nbr_center = msg.payload
+            self._cands.append((nbr_cid, nbr_center, msg.port))
+            ctx.send(msg.port, (self._stored_cid, self._center), tag="status_rep")
+        elif tag == "status_rep":
+            nbr_cid, nbr_center = msg.payload
+            self._cands.append((nbr_cid, nbr_center, msg.port))
         elif tag == "gather" or tag == "collect" or tag == "cand":
             self._conv_receive(ctx, tag, msg.payload)
         elif tag == "scatter":
@@ -134,27 +152,23 @@ class SamplerProgram(NodeProgram):
             self._stored_elist = tuple(elist)
             self._forward(ctx, msg.payload, "scatter")
         elif tag == "plan":
-            _trial, eids = msg.payload
+            trial, eids = msg.payload
             self._plan = frozenset(eids)
             self._trial_active = True
             self._responses = []
+            self._register_trial_wakes(ctx, trial)
             self._forward(ctx, msg.payload, "plan")
         elif tag == "status":
             center, cid, f_items = msg.payload
             self._center = center
             self._f_items = tuple(tuple(item) for item in f_items)
+            self._register_status_wakes(ctx)
             self._forward(ctx, msg.payload, "status")
-        elif tag == "status_req":
-            nbr_cid, nbr_center = msg.payload
-            self._cands.append((nbr_cid, nbr_center, msg.port))
-            ctx.send(msg.port, (self._stored_cid, self._center), tag="status_rep")
-        elif tag == "status_rep":
-            nbr_cid, nbr_center = msg.payload
-            self._cands.append((nbr_cid, nbr_center, msg.port))
         elif tag == "join":
             self._decision = tuple(msg.payload)
             if self._decision[0] == _FINISH:
                 self._pending_finish = True
+            self._register_decision_wakes(ctx)
             self._forward(ctx, msg.payload, "join")
         elif tag == "attach":
             self._children.append(msg.port)
@@ -240,28 +254,46 @@ class SamplerProgram(NodeProgram):
     # phase actions
     # ------------------------------------------------------------------
     def _act(self, ctx: Context, phase: Phase, rel: int) -> None:
+        # Checked in step-frequency order: trial rounds dominate every
+        # run, and RESPONSE / STATUS_REP rounds are pure delivery (all
+        # work happens in _dispatch), so they exit immediately.
         kind = phase.kind
+        if kind is PhaseKind.RESPONSE or kind is PhaseKind.STATUS_REP:
+            return
+        if kind is PhaseKind.QUERY:
+            if rel == 0 and self._trial_active:
+                for eid in sorted(self._plan & self._ports):
+                    ctx.send(eid, (self._stored_cid,), tag="query")
+            return
+        if kind is PhaseKind.COLLECT:
+            if rel == 0 and self._trial_active:
+                self._conv_open(ctx, "collect", list(self._responses))
+                # The trial is over for this node: clearing here (instead
+                # of at the next PLAN start, as the pre-active-set code
+                # did) is observationally identical — nothing reads the
+                # trial state between COLLECT and the next PLAN — and it
+                # removes the last reason to wake every node at every
+                # PLAN start.
+                self._trial_active = False
+                self._plan = frozenset()
+                self._responses = []
+            return
         if kind is PhaseKind.GATHER:
             if rel == 0:
                 self._level_reset()
+                if self._is_leader():
+                    # Leadership is stable within a level (reroots happen
+                    # at its very end), so the level's leader rounds are
+                    # known exactly here.
+                    ctx.wake_me_at(self._schedule.leader_wake_rounds(phase.level))
                 entry = (tuple(self._ports), tuple(tuple(d) for d in self._dead_payloads))
                 self._conv_open(ctx, "gather", [entry])
         elif kind is PhaseKind.SCATTER:
             if rel == 0 and self._is_leader():
                 self._leader_scatter(ctx, phase.level)
         elif kind is PhaseKind.PLAN:
-            if rel == 0:
-                self._trial_active = False
-                self._plan = frozenset()
-                if self._is_leader():
-                    self._leader_plan(ctx, phase.trial)
-        elif kind is PhaseKind.QUERY:
-            if rel == 0 and self._trial_active:
-                for eid in sorted(self._plan & self._ports):
-                    ctx.send(eid, (self._stored_cid,), tag="query")
-        elif kind is PhaseKind.COLLECT:
-            if rel == 0 and self._trial_active:
-                self._conv_open(ctx, "collect", list(self._responses))
+            if rel == 0 and self._is_leader():
+                self._leader_plan(ctx, phase.trial)
         elif kind is PhaseKind.STATUS:
             if rel == 0 and self._is_leader():
                 self._leader_status(ctx, phase.level)
@@ -344,6 +376,7 @@ class SamplerProgram(NodeProgram):
         self._stored_cid = self._cid
         self._stored_active = True
         self._stored_elist = live
+        self._register_first_plan_wake(ctx)
         self._forward(ctx, (self._cid, live), "scatter")
 
     def _leader_plan(self, ctx: Context, trial: int) -> None:
@@ -354,6 +387,15 @@ class SamplerProgram(NodeProgram):
         self._plan = frozenset(eids)
         self._trial_active = True
         self._responses = []
+        self._register_trial_wakes(ctx, trial)
+        # Wake at the next PLAN start *unconditionally*: in a healthy run
+        # wants_trial() decides there (and a "no" ends the chain); in a
+        # faulty run with a stranded collect convergecast the call raises
+        # exactly where the dense scheduler's poll would.
+        if trial < self._params.trials:
+            ctx.sleep_until(
+                self._schedule.start_of(PhaseKind.PLAN, self._phase.level, trial + 1)
+            )
         self._forward(ctx, (trial, tuple(eids)), "plan")
 
     def _leader_status(self, ctx: Context, level: int) -> None:
@@ -361,6 +403,7 @@ class SamplerProgram(NodeProgram):
         p_j = self._params.center_probability(level, ctx.n_hint)
         self._center = self._rngf.uniform("center", level, self._cid) < p_j
         self._f_items = tuple(sorted(machine.f_active.items()))
+        self._register_status_wakes(ctx)
         payload = (self._center, self._cid, self._f_items)
         self._forward(ctx, payload, "status")
 
@@ -379,7 +422,64 @@ class SamplerProgram(NodeProgram):
         self._decision = decision
         if decision[0] == _FINISH:
             self._pending_finish = True
+        self._register_decision_wakes(ctx)
         self._forward(ctx, decision, "join")
+
+    # ------------------------------------------------------------------
+    # schedule-derived wake registration (active-set scheduling)
+    # ------------------------------------------------------------------
+    def _register_trial_wakes(self, ctx: Context, trial: int) -> None:
+        """A live trial means acting at its QUERY and COLLECT starts."""
+        level = self._phase.level
+        sched = self._schedule
+        ctx.wake_me_at(
+            (
+                sched.start_of(PhaseKind.QUERY, level, trial),
+                sched.start_of(PhaseKind.COLLECT, level, trial),
+            )
+        )
+
+    def _register_first_plan_wake(self, ctx: Context) -> None:
+        """Leader only, at SCATTER: wake at PLAN of trial 1 iff a trial
+        is due.  ``wants_trial`` is monotone within a level (the target
+        set grows, the pool shrinks, the trial count rises), so a
+        machine that declines here would decline at PLAN 1 as well —
+        skipping the wake is exact.  Subsequent PLAN wakes are chained
+        by :meth:`_leader_plan` itself."""
+        machine = self._machine
+        if machine is None or not machine.wants_trial():
+            return
+        ctx.sleep_until(
+            self._schedule.start_of(PhaseKind.PLAN, self._phase.level, 1)
+        )
+
+    def _register_status_wakes(self, ctx: Context) -> None:
+        """Status knowledge implies one spontaneous follow-up: probing
+        owned F-edges at STATUS_REQ.  A node without owned F-items is a
+        no-op there under dense stepping too, so no wake is needed; the
+        CAND start sits in the static skeleton because nodes act there
+        on their *default* state as well."""
+        if any(eid in self._ports for _nbr, eid in self._f_items):
+            ctx.sleep_until(
+                self._schedule.start_of(PhaseKind.STATUS_REQ, self._phase.level)
+            )
+
+    def _register_decision_wakes(self, ctx: Context) -> None:
+        """A join decision wakes the join-edge owner at ATTACH and
+        REROOT; a finish decision wakes the whole cluster at FINISH."""
+        level = self._phase.level
+        sched = self._schedule
+        decision = self._decision
+        if decision[0] == _JOIN:
+            if decision[2] in self._ports:
+                ctx.wake_me_at(
+                    (
+                        sched.start_of(PhaseKind.ATTACH, level),
+                        sched.start_of(PhaseKind.REROOT, level),
+                    )
+                )
+        elif decision[0] == _FINISH:
+            ctx.wake_me_at((sched.start_of(PhaseKind.FINISH, level),))
 
     def _initiate_reroot(self, ctx: Context, new_cid: int, join_eid: int) -> None:
         old_adjacent = list(self._children)

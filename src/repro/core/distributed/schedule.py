@@ -83,6 +83,24 @@ class Schedule:
         self._phases = phases
         self._starts = [p.start for p in phases]
         self.total_rounds = phases[-1].end if phases else 0
+        # One shared tuple: every node of a run registers this same
+        # object as its wake schedule, so the per-node cost is a pointer.
+        self._phase_starts = tuple(self._starts)
+        self._start_of: dict[tuple[PhaseKind, int, int], int] = {
+            (p.kind, p.level, p.trial): p.start for p in phases
+        }
+        # CAND is in the skeleton because *every* node acts at its start
+        # whenever it is not a center — including a node whose status
+        # broadcast was lost (faulty runs), which still opens an empty
+        # candidate convergecast exactly like the dense scheduler's poll.
+        self._skeleton = tuple(
+            p.start
+            for p in phases
+            if p.kind is PhaseKind.GATHER
+            or p.kind is PhaseKind.CAND
+            or p.kind is PhaseKind.END
+        )
+        self._leader_rounds: dict[int, tuple[int, ...]] = {}
 
     @classmethod
     def build(cls, params: SamplerParams) -> "Schedule":
@@ -128,6 +146,70 @@ class Schedule:
     @property
     def phases(self) -> tuple[Phase, ...]:
         return tuple(self._phases)
+
+    # ------------------------------------------------------------------
+    # wake-round helpers (active-set scheduling, DESIGN.md §3.6)
+    # ------------------------------------------------------------------
+    @property
+    def phase_starts(self) -> tuple[int, ...]:
+        """First round of every phase, ascending (one shared tuple)."""
+        return self._phase_starts
+
+    def next_phase_start(self, round_index: int) -> int | None:
+        """Smallest phase start strictly after ``round_index`` (or None)."""
+        idx = bisect.bisect_right(self._starts, round_index)
+        return self._starts[idx] if idx < len(self._starts) else None
+
+    def start_of(self, kind: PhaseKind, level: int, trial: int = 0) -> int:
+        """First round of the unique ``(kind, level, trial)`` phase."""
+        try:
+            return self._start_of[(kind, level, trial)]
+        except KeyError:
+            raise ValueError(
+                f"no {kind.value} phase at level {level}, trial {trial}"
+            ) from None
+
+    def skeleton_wake_rounds(self) -> tuple[int, ...]:
+        """The wake rounds *every* node needs unconditionally.
+
+        Every ``SamplerProgram`` acts spontaneously at each level's
+        GATHER start (open the member convergecast), at each CAND start
+        (every non-center opens the candidate convergecast — with its
+        *default* state when the status broadcast was lost, exactly as
+        the dense scheduler would), and at END (halt).  Everything else
+        is either leader-only (:meth:`leader_wake_rounds`), conditional
+        on state whose *absence* makes the dense step a no-op too —
+        plan, status, join handlers register the follow-up round via
+        ``Context.sleep_until`` / ``wake_me_at`` — or an inbound
+        message, which wakes a sleeping node on its own.  One shared
+        tuple serves all ``n`` nodes.
+        """
+        return self._skeleton
+
+    def leader_wake_rounds(self, level: int) -> tuple[int, ...]:
+        """Rounds where the *leader* of a level-``level`` cluster acts
+        spontaneously regardless of its trial machine's state: SCATTER
+        and (below the final level) STATUS and JOIN.  Cached per level;
+        leadership is stable within a level, so registering at GATHER
+        start is exact.  PLAN starts are deliberately absent: they are
+        registered one trial at a time (at SCATTER for trial 1, at each
+        COLLECT completion for the next) and only while the leader's
+        ``TrialMachine.wants_trial()`` still holds — the guard is
+        monotone, so a leader that stops trialing never wakes for the
+        remaining trial windows.
+        """
+        cached = self._leader_rounds.get(level)
+        if cached is None:
+            kinds = (PhaseKind.SCATTER, PhaseKind.STATUS, PhaseKind.JOIN)
+            cached = tuple(
+                sorted(
+                    p.start
+                    for p in self._phases
+                    if p.level == level and p.kind in kinds
+                )
+            )
+            self._leader_rounds[level] = cached
+        return cached
 
     def rounds_bound(self, params: SamplerParams) -> int:
         """A closed-form ``O(3^k h)`` upper bound used in tests."""

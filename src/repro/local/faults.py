@@ -40,6 +40,12 @@ class FaultPlan:
         if not 0.0 <= self.drop_probability <= 1.0:
             raise ValueError("drop_probability must be in [0, 1]")
 
+    @property
+    def is_noop(self) -> bool:
+        """True when no message can ever be dropped (the runtime skips
+        the per-message coin entirely on this fast path)."""
+        return self.rule is None and self.drop_probability == 0.0
+
     def drops(self, round_index: int, eid: int, sender: int) -> bool:
         if self.rule is not None and self.rule(round_index, eid, sender):
             return True

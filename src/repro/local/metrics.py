@@ -21,12 +21,20 @@ class MessageStats:
     ``total``.  ``per_round[r]`` holds the messages recorded while round
     ``r`` was open; ``sum(per_round) == total`` is an unconditional
     invariant (``record`` opens an implicit round if none is open yet).
+
+    ``stage_offsets`` records where merged runs begin inside
+    ``per_round``: empty for a single run, and after :meth:`merge` one
+    entry per constituent stage (``[0, len(stage1.per_round), ...]``).
+    Index ``per_round[stage_offsets[i] + r]`` is round ``r`` *of stage
+    i* — without the offsets, round indices of multi-stage schemes
+    silently misalign when read as one series.
     """
 
     total: int = 0
     dropped: int = 0
     by_tag: Counter = field(default_factory=Counter)
     per_round: list[int] = field(default_factory=list)
+    stage_offsets: list[int] = field(default_factory=list)
 
     def record(self, tag: str) -> None:
         self.total += 1
@@ -36,6 +44,23 @@ class MessageStats:
             # bucket: sum(per_round) == total is an invariant.
             self.per_round.append(0)
         self.per_round[-1] += 1
+
+    def record_batch(self, msgs) -> None:
+        """Meter one round's deliveries in bulk (fault-free fast path).
+
+        Exactly equivalent to calling :meth:`record` once per message —
+        same ``total``, ``by_tag``, ``per_round`` — but with one Counter
+        update per round instead of one dict operation per message.
+        """
+        count = len(msgs)
+        if not count:
+            return
+        self.total += count
+        if not self.per_round:
+            self.per_round.append(0)
+        self.per_round[-1] += count
+        # Entries are (eid, sender, payload, tag) tuples; index 3 is the tag.
+        self.by_tag.update(msg[3] for msg in msgs)
 
     def record_drop(self) -> None:
         self.dropped += 1
@@ -48,14 +73,32 @@ class MessageStats:
         return sum(1 for c in self.per_round if c)
 
     def merge(self, other: "MessageStats") -> "MessageStats":
-        """Combine counters from two runs (used by multi-stage schemes)."""
+        """Combine counters from two runs (used by multi-stage schemes).
+
+        ``per_round`` is concatenated, and ``stage_offsets`` marks where
+        each constituent run starts so per-round series can still be
+        read per stage (:meth:`stage_slices`).
+        """
+        own_offsets = self.stage_offsets or [0]
+        other_offsets = other.stage_offsets or [0]
+        shift = len(self.per_round)
         merged = MessageStats(
             total=self.total + other.total,
             dropped=self.dropped + other.dropped,
             by_tag=self.by_tag + other.by_tag,
             per_round=self.per_round + other.per_round,
+            stage_offsets=own_offsets + [shift + off for off in other_offsets],
         )
         return merged
+
+    def stage_slices(self) -> list[list[int]]:
+        """``per_round`` split back into one series per merged stage."""
+        offsets = self.stage_offsets or [0]
+        bounds = offsets + [len(self.per_round)]
+        return [
+            self.per_round[start:end]
+            for start, end in zip(bounds, bounds[1:])
+        ]
 
 
 @dataclass

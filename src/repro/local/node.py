@@ -13,13 +13,27 @@ A node that calls :meth:`Context.halt` stops being scheduled, except
 that it may opt into *reactive* mode (``reactive=True``) in which its
 ``on_round`` is still invoked whenever a message arrives — the paper's
 finished clusters answer queries this way without counting as active.
+
+Quiescence declarations.  A node that knows it has nothing to do for a
+while can declare it with :meth:`Context.sleep_until` (one wake round,
+or none) or :meth:`Context.wake_me_at` (a bulk schedule of wake rounds).
+The declaration is a *contract*: a sleeping node promises that running
+its ``on_round`` with an empty inbox before the next declared wake round
+would be a no-op, so the runtime's ``scheduler="active"`` may skip those
+invocations entirely.  An inbound message always wakes a sleeping node —
+quiescence never delays delivery — and waking early does not cancel the
+remaining wake schedule.  Under ``scheduler="dense"`` the declarations
+are recorded but every node is stepped every round, which is exactly why
+the two schedulers produce identical runs for contract-honouring
+programs.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
 from abc import ABC, abstractmethod
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.errors import ProtocolError
 from repro.local.knowledge import Knowledge
@@ -43,6 +57,12 @@ class Context:
         "_outbox",
         "_halted",
         "_reactive",
+        "_round",
+        "_sleeping",
+        "_wake_bulk",
+        "_wake_idx",
+        "_wake_extra",
+        "_wake_dirty",
     )
 
     def __init__(
@@ -70,6 +90,14 @@ class Context:
         self._outbox: list[Outbound] = []
         self._halted = False
         self._reactive = False
+        self._round = 0
+        self._sleeping = False
+        self._wake_bulk: Sequence[int] = ()
+        self._wake_idx = 0
+        self._wake_extra: list[int] = []
+        # Set by every declaration; the scheduler clears it when it
+        # re-reads the wake queue, so unchanged sleepers skip the scan.
+        self._wake_dirty = False
 
     # -- identity and knowledge ---------------------------------------
     @property
@@ -97,6 +125,16 @@ class Context:
         return self._rng
 
     @property
+    def round(self) -> int:
+        """The current round index (0 during ``on_start``).
+
+        Synchronous LOCAL executions share a global round counter, so
+        exposing it is model-faithful; programs that derive control flow
+        from it stay correct under both schedulers.
+        """
+        return self._round
+
+    @property
     def knowledge(self) -> Knowledge:
         return self._knowledge
 
@@ -118,12 +156,68 @@ class Context:
             raise ProtocolError(
                 f"node {self._node} is not incident to port {port}"
             )
-        self._outbox.append(Outbound(eid=eid, sender=self._node, payload=payload, tag=tag))
+        # Entries are bare tuples in Outbound field order; the runtime
+        # unpacks them positionally (one tuple alloc beats a NamedTuple
+        # __new__ on the hottest allocation site in the engine).
+        self._outbox.append((eid, self._node, payload, tag))
 
     def halt(self, *, reactive: bool = False) -> None:
         """Stop being scheduled; ``reactive=True`` keeps answering messages."""
         self._halted = True
         self._reactive = reactive
+
+    def sleep_until(self, round_index: int | None = None) -> None:
+        """Declare quiescence until ``round_index`` (``None`` = indefinitely).
+
+        Contract: until the declared wake round, stepping this node with
+        an empty inbox would be a no-op, so the active scheduler skips
+        it.  Any inbound message wakes the node regardless; waking early
+        keeps the remaining wake schedule.  May be called repeatedly to
+        add further wake rounds.
+        """
+        if round_index is not None:
+            if round_index <= self._round:
+                raise ProtocolError(
+                    f"node {self._node} asked to wake at round {round_index} "
+                    f"but it is already round {self._round}"
+                )
+            heapq.heappush(self._wake_extra, round_index)
+        self._sleeping = True
+        self._wake_dirty = True
+
+    def wake_me_at(self, rounds: Iterable[int]) -> None:
+        """Declare additional wake rounds (ascending round indices).
+
+        Registering a schedule does not cancel previously declared wake
+        rounds — the node wakes at the union.  The *first* registered
+        schedule is stored by reference, so many nodes sharing one
+        schedule (e.g. the distributed ``Sampler``'s skeleton of phase
+        starts) share one tuple; later registrations merge through the
+        per-node wake heap.  Entries at or before the current round are
+        skipped for free.
+        """
+        bulk = rounds if isinstance(rounds, (tuple, list)) else tuple(rounds)
+        prev: int | None = None
+        for round_index in bulk:
+            if prev is not None and prev >= round_index:
+                raise ProtocolError(
+                    f"node {self._node} declared an unsorted wake schedule"
+                )
+            prev = round_index
+        if not self._wake_bulk:
+            self._wake_bulk = bulk
+            self._wake_idx = 0
+        else:
+            now = self._round
+            for round_index in bulk:
+                if round_index > now:
+                    heapq.heappush(self._wake_extra, round_index)
+        self._sleeping = True
+        self._wake_dirty = True
+
+    def wake(self) -> None:
+        """Cancel sleep mode: be stepped every round again (wake rounds kept)."""
+        self._sleeping = False
 
     @property
     def halted(self) -> bool:
@@ -132,6 +226,10 @@ class Context:
     @property
     def reactive(self) -> bool:
         return self._reactive
+
+    @property
+    def sleeping(self) -> bool:
+        return self._sleeping
 
     # -- runtime-side helpers (not part of the program-facing API) ------
     def _drain(self) -> Sequence[Outbound]:
@@ -142,6 +240,29 @@ class Context:
 
     def _port_of(self, eid: int) -> int:
         return self._eid_to_port[eid]
+
+    def _next_wake_after(self, round_index: int) -> int | None:
+        """Smallest declared wake round strictly after ``round_index``.
+
+        Advances past stale entries but does not consume the returned
+        one, so repeated calls at the same round are idempotent (a node
+        woken early by a message keeps its pending wake round).
+        """
+        bulk = self._wake_bulk
+        idx = self._wake_idx
+        limit = len(bulk)
+        while idx < limit and bulk[idx] <= round_index:
+            idx += 1
+        self._wake_idx = idx
+        extra = self._wake_extra
+        while extra and extra[0] <= round_index:
+            heapq.heappop(extra)
+        if idx < limit:
+            nxt = bulk[idx]
+            if extra and extra[0] < nxt:
+                return extra[0]
+            return nxt
+        return extra[0] if extra else None
 
 
 class NodeProgram(ABC):

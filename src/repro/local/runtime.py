@@ -15,11 +15,25 @@ Semantics (fully synchronous LOCAL model):
 
 The engine is deterministic: nodes are stepped in increasing id order
 and per-node randomness comes from streams derived off the run seed.
+
+Two schedulers drive the rounds (DESIGN.md §3.6):
+
+* ``scheduler="active"`` (default) steps only the *active set* each
+  round — nodes with a pending inbox, nodes whose declared wake round
+  arrived, and nodes that never opted into quiescence — using a min-heap
+  wake queue and a live non-halted counter.  For programs that honour
+  the :class:`~repro.local.node.Context` sleep contract this is
+  observationally identical to dense stepping while skipping the idle
+  windows that dominate schedule-driven protocols.
+* ``scheduler="dense"`` is the seed baseline: every non-halted node is
+  stepped every round.  It is never deleted (DESIGN.md §3.4 step 1) and
+  the test suite asserts :class:`RunReport` equality between the two.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import heapq
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import SimulationError
 from repro.local.faults import FaultPlan
@@ -29,9 +43,31 @@ from repro.local.network import Network
 from repro.local.node import Context, NodeProgram
 from repro.rng import RngFactory
 
-__all__ = ["Runtime", "ProgramFactory"]
+__all__ = ["Runtime", "ProgramFactory", "SCHEDULERS"]
 
 ProgramFactory = Callable[[int], NodeProgram]
+
+SCHEDULERS = ("active", "dense")
+
+
+def _merge_sorted(a: list[int], b: list[int]) -> list[int]:
+    """Merge two disjoint ascending lists into one ascending list."""
+    if not a:
+        return b
+    if not b:
+        return a
+    merged: list[int] = []
+    i = j = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        if a[i] < b[j]:
+            merged.append(a[i])
+            i += 1
+        else:
+            merged.append(b[j])
+            j += 1
+    merged.extend(a[i:] if i < len_a else b[j:])
+    return merged
 
 
 class Runtime:
@@ -47,13 +83,19 @@ class Runtime:
         fixed_rounds: int | None = None,
         n_hint: int | None = None,
         faults: FaultPlan | None = None,
+        scheduler: str = "active",
     ) -> None:
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+            )
         self._network = network
         self._seed = seed
         self._max_rounds = max_rounds
         self._fixed_rounds = fixed_rounds
         self._n_hint = n_hint if n_hint is not None else network.n
         self._faults = faults or FaultPlan.none()
+        self._scheduler = scheduler
         rng_factory = RngFactory(seed)
         node_rng = rng_factory.prefix("node")
         self._programs: list[NodeProgram] = []
@@ -95,7 +137,19 @@ class Runtime:
     def network(self) -> Network:
         return self._network
 
+    @property
+    def scheduler(self) -> str:
+        return self._scheduler
+
     def run(self) -> RunReport:
+        if self._scheduler == "dense":
+            return self._run_dense()
+        return self._run_active()
+
+    # ------------------------------------------------------------------
+    # dense scheduler: the seed baseline — every node, every round
+    # ------------------------------------------------------------------
+    def _run_dense(self) -> RunReport:
         stats = MessageStats()
         network = self._network
         fixed = self._fixed_rounds
@@ -128,23 +182,26 @@ class Runtime:
             stats.open_round()
             # Pre-sized inboxes indexed by node; the routing table turns
             # delivery into a dict hit plus two comparisons per message.
+            # In-flight entries are bare tuples in Outbound field order,
+            # unpacked at C level.
             inboxes: list[list[Inbound] | None] = [None] * network.n
             route = self._route
-            for msg in in_flight:
-                u, v, port_u, port_v = route[msg.eid]
-                if msg.sender == u:
+            for eid, sender, payload, tag in in_flight:
+                u, v, port_u, port_v = route[eid]
+                if sender == u:
                     receiver, port = v, port_v
                 else:
                     receiver, port = u, port_u
                 box = inboxes[receiver]
                 if box is None:
                     box = inboxes[receiver] = []
-                box.append(Inbound(port=port, payload=msg.payload, tag=msg.tag))
+                box.append(Inbound(port, payload, tag))
             for node in network.nodes():
                 ctx = self._contexts[node]
                 inbox = inboxes[node] or ()
                 if ctx.halted and not (ctx.reactive and inbox):
                     continue
+                ctx._round = rounds
                 self._programs[node].on_round(ctx, inbox)
             if fixed is not None and rounds >= fixed:
                 # Final fixed round: anything queued now can never be
@@ -166,15 +223,184 @@ class Runtime:
         )
 
     # ------------------------------------------------------------------
-    def _collect(self, stats: MessageStats, round_index: int) -> list[Outbound]:
+    # active scheduler: step only pending-inbox / due-wake / running nodes
+    # ------------------------------------------------------------------
+    def _run_active(self) -> RunReport:
+        stats = MessageStats()
+        network = self._network
+        n = network.n
+        fixed = self._fixed_rounds
+        contexts = self._contexts
+        programs = self._programs
+        in_flight: list[Outbound] = []
+
+        # Round 0: on_start at every node (both schedulers agree here).
+        stats.open_round()
+        for node in network.nodes():
+            programs[node].on_start(contexts[node])
+        if fixed == 0:
+            self._discard_undelivered()
+        else:
+            in_flight = self._collect(stats, round_index=0)
+
+        # Classify after round 0: `running` nodes are stepped every round
+        # (they never opted into quiescence), sleepers sit in the wake
+        # heap, and `live` counts non-halted nodes so termination is O(1)
+        # instead of the dense scheduler's per-round _all_halted scan.
+        live = 0
+        running: set[int] = set()
+        wake_heap: list[tuple[int, int]] = []
+        # The heap uses lazy deletion: next_wake[v] names v's one live
+        # entry; any other (round, v) in the heap is stale and skipped.
+        next_wake: list[int | None] = [None] * n
+        for node in network.nodes():
+            ctx = contexts[node]
+            if ctx._halted:
+                continue
+            live += 1
+            if ctx._sleeping:
+                nxt = ctx._next_wake_after(0)
+                if nxt is not None:
+                    heapq.heappush(wake_heap, (nxt, node))
+                    next_wake[node] = nxt
+            else:
+                running.add(node)
+        # `running` changes rarely (a program opts in or out of
+        # quiescence, or halts), so its sorted form is cached and the
+        # per-round step list is a linear merge with the — disjoint —
+        # sorted extras instead of an O(n log n) sort per round.
+        running_sorted = sorted(running)
+        running_dirty = False
+
+        rounds = 0
+        route = self._route
+        while True:
+            if fixed is not None:
+                if rounds >= fixed:
+                    break
+            elif not in_flight and live == 0:
+                break
+            if rounds >= self._max_rounds:
+                raise SimulationError(
+                    f"exceeded max_rounds={self._max_rounds} "
+                    f"({stats.total} messages so far)"
+                )
+            rounds += 1
+            stats.open_round()
+            inboxes: dict[int, list[Inbound]] = {}
+            for eid, sender, payload, tag in in_flight:
+                u, v, port_u, port_v = route[eid]
+                if sender == u:
+                    receiver, port = v, port_v
+                else:
+                    receiver, port = u, port_u
+                box = inboxes.get(receiver)
+                if box is None:
+                    box = inboxes[receiver] = []
+                box.append(Inbound(port, payload, tag))
+            if running:
+                extra = {node for node in inboxes if node not in running}
+            else:
+                extra = set(inboxes)
+            while wake_heap and wake_heap[0][0] <= rounds:
+                wake_round, node = heapq.heappop(wake_heap)
+                if next_wake[node] == wake_round:
+                    next_wake[node] = None
+                    if node not in running:
+                        extra.add(node)
+            if running_dirty:
+                running_sorted = sorted(running)
+                running_dirty = False
+            stepped = (
+                _merge_sorted(running_sorted, sorted(extra))
+                if extra
+                else running_sorted
+            )
+            for node in stepped:
+                ctx = contexts[node]
+                inbox = inboxes.get(node) or ()
+                # Same eligibility guard as the dense loop: halted nodes
+                # run only reactively, and only on a non-empty inbox —
+                # and a reactive step cannot un-halt, so no bookkeeping.
+                if ctx._halted:
+                    if ctx._reactive and inbox:
+                        ctx._round = rounds
+                        programs[node].on_round(ctx, inbox)
+                    continue
+                ctx._round = rounds
+                programs[node].on_round(ctx, inbox)
+                if ctx._halted:
+                    live -= 1
+                    if node in running:
+                        running.discard(node)
+                        running_dirty = True
+                    next_wake[node] = None
+                elif ctx._sleeping:
+                    if node in running:
+                        running.discard(node)
+                        running_dirty = True
+                    # A sleeper with a still-pending heap entry and no
+                    # new declarations needs no queue rescan.
+                    if ctx._wake_dirty or next_wake[node] is None:
+                        ctx._wake_dirty = False
+                        nxt = ctx._next_wake_after(rounds)
+                        if nxt is not None and next_wake[node] != nxt:
+                            heapq.heappush(wake_heap, (nxt, node))
+                            next_wake[node] = nxt
+                elif node not in running:
+                    running.add(node)
+                    running_dirty = True
+                    next_wake[node] = None
+            if fixed is not None and rounds >= fixed:
+                self._discard_undelivered()
+                in_flight = []
+                break
+            # Only stepped nodes can have queued sends, and `stepped` is
+            # ascending, so collection order matches the dense loop.
+            in_flight = self._collect(stats, round_index=rounds, nodes=stepped)
+
+        outputs = {
+            node: programs[node].output() for node in network.nodes()
+        }
+        return RunReport(
+            rounds=rounds,
+            messages=stats,
+            outputs=outputs,
+            halted=live == 0,
+        )
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        stats: MessageStats,
+        round_index: int,
+        nodes: Iterable[int] | None = None,
+    ) -> list[Outbound]:
         queued: list[Outbound] = []
         faults = self._faults
-        for ctx in self._contexts:
+        all_contexts = self._contexts
+        contexts = (
+            all_contexts
+            if nodes is None
+            else [all_contexts[node] for node in nodes]
+        )
+        if faults.is_noop:
+            # Fault-free fast path: nothing can be dropped, so whole
+            # outboxes move in one extend and metering happens per round
+            # (record_batch) instead of per message.
+            for ctx in contexts:
+                if ctx._outbox:
+                    queued.extend(ctx._outbox)
+                    ctx._outbox = []
+            stats.record_batch(queued)
+            return queued
+        for ctx in contexts:
             for msg in ctx._drain():
-                if faults.drops(round_index, msg.eid, msg.sender):
+                eid, sender, _payload, tag = msg
+                if faults.drops(round_index, eid, sender):
                     stats.record_drop()
                     continue
-                stats.record(msg.tag)
+                stats.record(tag)
                 queued.append(msg)
         return queued
 
@@ -196,6 +422,7 @@ def run_program(
     fixed_rounds: int | None = None,
     n_hint: int | None = None,
     faults: FaultPlan | None = None,
+    scheduler: str = "active",
 ) -> RunReport:
     """Convenience wrapper: build a :class:`Runtime` and run it."""
     runtime = Runtime(
@@ -206,5 +433,6 @@ def run_program(
         fixed_rounds=fixed_rounds,
         n_hint=n_hint,
         faults=faults,
+        scheduler=scheduler,
     )
     return runtime.run()

@@ -57,6 +57,11 @@ class PushPullGossip(NodeProgram):
         self._known: set[int] = {node}
 
     def on_start(self, ctx: Context) -> None:
+        if not ctx.ports:
+            # An isolated node can neither push nor be pulled from:
+            # declare it reactively done so the scheduler never steps it.
+            ctx.halt(reactive=True)
+            return
         self._push(ctx)
 
     def on_round(self, ctx: Context, inbox: Sequence[Inbound]) -> None:
@@ -85,7 +90,7 @@ class PushPullReport:
 
 
 def run_push_pull(
-    network: Network, rounds: int, t: int, seed: int = 0
+    network: Network, rounds: int, t: int, seed: int = 0, *, scheduler: str = "active"
 ) -> PushPullReport:
     """Run push–pull for ``rounds`` rounds; measure ``t``-ball coverage."""
     from repro.analysis.stretch import bfs_distances
@@ -96,6 +101,7 @@ def run_push_pull(
         seed=seed,
         fixed_rounds=rounds,
         max_rounds=rounds + 1,
+        scheduler=scheduler,
     )
     adj = [network.neighbors(v) for v in network.nodes()]
     delivered = 0

@@ -57,6 +57,14 @@ class SchemeReport:
         return self.construction_messages + self.simulation_messages
 
     @property
+    def combined_messages(self):
+        """One :class:`~repro.local.metrics.MessageStats` over both
+        stages; ``stage_offsets`` separates construction from simulation
+        in the concatenated ``per_round`` series."""
+        assert self.spanner.messages is not None
+        return self.spanner.messages.merge(self.simulation.messages)
+
+    @property
     def construction_rounds(self) -> int:
         assert self.spanner.rounds is not None
         return self.spanner.rounds
@@ -86,6 +94,7 @@ def run_one_stage(
     params: SamplerParams | None = None,
     seed: int = 0,
     engine: str = "fast",
+    scheduler: str = "active",
 ) -> SchemeReport:
     """Simulate ``algo`` with the spanner-based scheme, metering both stages.
 
@@ -93,10 +102,13 @@ def run_one_stage(
     (used by experiments that tune the practical constants).  ``engine``
     selects the simulation-stage implementation: the array-native
     ``"fast"`` path or the literal ``"runtime"`` baseline; both produce
-    identical reports (DESIGN.md §3.5).
+    identical reports (DESIGN.md §3.5).  ``scheduler`` selects the round
+    engine for every kernel execution in the pipeline — the distributed
+    construction stage and, under ``engine="runtime"``, the simulated
+    flood; ``"dense"`` is the step-everyone baseline (DESIGN.md §3.6).
     """
     sampler_params = params if params is not None else theorem3_params(gamma, seed=seed)
-    spanner = build_spanner_distributed(network, sampler_params)
+    spanner = build_spanner_distributed(network, sampler_params, scheduler=scheduler)
     simulation = simulate_over_spanner(
         network,
         spanner.edges,
@@ -104,5 +116,6 @@ def run_one_stage(
         algo=algo,
         seed=seed,
         engine=engine,
+        scheduler=scheduler,
     )
     return SchemeReport(outputs=simulation.outputs, spanner=spanner, simulation=simulation)

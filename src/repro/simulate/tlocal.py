@@ -78,7 +78,14 @@ class FloodSchedule:
 
 
 class _FloodProgram(NodeProgram):
-    """Forward-new-items flooding with per-edge aggregation."""
+    """Forward-new-items flooding with per-edge aggregation.
+
+    Purely message-driven after round 0: a round with an empty inbox
+    changes nothing, so the program declares quiescence
+    (``ctx.sleep_until(None)``) and the active scheduler steps it only
+    when new items actually arrive — the frontier sweep the fast engine
+    derives analytically, re-created live.
+    """
 
     def __init__(self, node: int, payload: Any, rounds: int) -> None:
         self._node = node
@@ -93,6 +100,7 @@ class _FloodProgram(NodeProgram):
         item = (self._node, self._payload)
         for eid in ctx.ports:
             ctx.send(eid, ((item,)), tag="flood")
+        ctx.sleep_until(None)
 
     def on_round(self, ctx: Context, inbox: Sequence[Inbound]) -> None:
         fresh: list[tuple[int, Any]] = []
@@ -186,13 +194,16 @@ def t_local_broadcast(
     *,
     seed: int = 0,
     engine: str = "fast",
+    scheduler: str = "active",
 ) -> FloodReport:
     """Flood each node's payload ``radius`` hops through ``spanner``.
 
     ``spanner`` is typically ``network.subnetwork(S)``; payloads opaque.
     ``engine="fast"`` derives the report from CSR sweeps
     (:func:`flood_schedule`); ``engine="runtime"`` runs the literal
-    node-program simulation.  Both produce equal reports.
+    node-program simulation — under ``scheduler="active"`` only the
+    flood frontier is stepped, under ``"dense"`` every node every round.
+    All combinations produce equal reports.
     """
     if engine not in FLOOD_ENGINES:
         raise ValueError(f"unknown flood engine {engine!r}; expected one of {FLOOD_ENGINES}")
@@ -203,6 +214,7 @@ def t_local_broadcast(
             seed=seed,
             fixed_rounds=radius,
             max_rounds=radius + 1,
+            scheduler=scheduler,
         )
         return FloodReport(
             collected=report.outputs,

@@ -79,8 +79,14 @@ def simulate_over_spanner(
     *,
     radius: int | None = None,
     engine: str = "fast",
+    scheduler: str = "active",
 ) -> SimulationOutcome:
-    """Run ``algo`` via ``t``-local broadcast over the given spanner."""
+    """Run ``algo`` via ``t``-local broadcast over the given spanner.
+
+    ``scheduler`` only matters under ``engine="runtime"`` (the fast
+    engine never touches the round engine); both settings produce
+    identical outcomes (DESIGN.md §3.6).
+    """
     if engine not in FLOOD_ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {FLOOD_ENGINES}")
     t = algo.rounds(network.n)
@@ -93,6 +99,7 @@ def simulate_over_spanner(
             radius=flood_radius,
             seed=seed,
             engine="runtime",
+            scheduler=scheduler,
         )
         outputs = {
             node: replay_ball(algo, node, flood.collected[node], t, seed, network.n)

@@ -54,6 +54,17 @@ class TwoStageReport:
         )
 
     @property
+    def combined_messages(self):
+        """One :class:`~repro.local.metrics.MessageStats` over all three
+        stages; ``stage_offsets`` keeps the per-round series of stage-1
+        construction, stage-2 simulation, and payload simulation
+        separable after concatenation."""
+        assert self.stage1.messages is not None
+        return self.stage1.messages.merge(self.stage2_sim.messages).merge(
+            self.payload_sim.messages
+        )
+
+    @property
     def total_rounds(self) -> int:
         assert self.stage1.rounds is not None
         return self.stage1.rounds + self.stage2_sim.rounds + self.payload_sim.rounds
@@ -78,14 +89,18 @@ def run_two_stage(
     stage2_k: int = 3,
     seed: int = 0,
     engine: str = "fast",
+    scheduler: str = "active",
 ) -> TwoStageReport:
     """Run the full two-stage pipeline, metering every stage.
 
     ``engine`` selects the simulation-stage implementation for both
     simulated stages — ``"fast"`` (array-native flood + shared replay)
     or ``"runtime"`` (the literal baseline); reports are identical.
+    ``scheduler`` selects the round engine for every kernel execution
+    (stage-1 construction and, under ``engine="runtime"``, both
+    simulated floods); ``"dense"`` is the baseline (DESIGN.md §3.6).
     """
-    stage1 = build_spanner_distributed(network, stage1_params)
+    stage1 = build_spanner_distributed(network, stage1_params, scheduler=scheduler)
 
     stage2_algo = BaswanaSenLocal(k=stage2_k, coin_seed=seed)
     stage2_sim = simulate_over_spanner(
@@ -95,6 +110,7 @@ def run_two_stage(
         algo=stage2_algo,
         seed=seed,
         engine=engine,
+        scheduler=scheduler,
     )
     stage2_edges: set[int] = set()
     for added in stage2_sim.outputs.values():
@@ -107,6 +123,7 @@ def run_two_stage(
         algo=algo,
         seed=seed,
         engine=engine,
+        scheduler=scheduler,
     )
     return TwoStageReport(
         outputs=payload_sim.outputs,

@@ -61,6 +61,33 @@ class TestMessageStats:
         assert merged.dropped == 1
         assert merged.by_tag == {"x": 1, "y": 1}
 
+    def test_merge_records_stage_offsets(self):
+        a, b, c = MessageStats(), MessageStats(), MessageStats()
+        for _ in range(3):
+            a.open_round()
+        a.record("x")
+        b.open_round(); b.record("y"); b.record("y")
+        c.open_round(); c.open_round(); c.record("z")
+        merged = a.merge(b).merge(c)
+        # stage i's rounds start at stage_offsets[i] in per_round
+        assert merged.stage_offsets == [0, 3, 4]
+        assert merged.per_round == a.per_round + b.per_round + c.per_round
+        slices = merged.stage_slices()
+        assert slices == [a.per_round, b.per_round, c.per_round]
+        assert sum(sum(s) for s in slices) == merged.total == 4
+
+    def test_record_batch_equals_per_message_recording(self):
+        batched, singly = MessageStats(), MessageStats()
+        msgs = [(0, 0, None, "x"), (1, 1, None, "y"), (2, 0, None, "x")]
+        batched.open_round()
+        batched.record_batch(msgs)
+        singly.open_round()
+        for msg in msgs:
+            singly.record(msg[3])
+        assert batched.total == singly.total
+        assert batched.by_tag == singly.by_tag
+        assert batched.per_round == singly.per_round
+
     def test_run_report_summary(self):
         stats = MessageStats()
         report = RunReport(rounds=3, messages=stats, outputs={}, halted=True)

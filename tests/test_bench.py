@@ -76,3 +76,54 @@ class TestHarnessCli:
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             main(["--experiment", "E42"])
+
+
+class TestPerfHarness:
+    def test_parse_filter(self):
+        from repro.bench.perf import parse_filter
+
+        assert parse_filter(None) is None
+        assert parse_filter("") is None
+        assert parse_filter("spanner/*") == ["spanner/*"]
+        assert parse_filter("spanner/*, flood/*") == ["spanner/*", "flood/*"]
+
+    def test_check_against_respects_filter(self):
+        from repro.bench.perf import check_against
+
+        committed = {
+            "kernels": {
+                "spanner/gnp/n500": {"seconds": 0.1},
+                "flood/gnp/n2000": {"seconds": 1.0},
+            }
+        }
+        fresh = {"kernels": {"spanner/gnp/n500": {"seconds": 0.1}}}
+        # unfiltered: the flood kernel is missing from the fresh run
+        assert any("missing" in p for p in check_against(committed, fresh))
+        # filtered: only spanner kernels are compared
+        assert check_against(committed, fresh, ["spanner/*"]) == []
+        slow = {"kernels": {"spanner/gnp/n500": {"seconds": 0.2}}}
+        problems = check_against(committed, slow, ["spanner/*"])
+        assert len(problems) == 1 and "spanner/gnp/n500" in problems[0]
+
+    def test_format_report_empty_kernels(self):
+        from repro.bench.perf import format_report
+
+        # used to crash with max() on an empty dict
+        rendered = format_report({"kernels": {}})
+        assert "no kernels matched" in rendered
+
+    def test_nonpositive_repeats_rejected(self):
+        # --repeats 0 would time nothing and record infinite seconds
+        for bad in ("0", "-3"):
+            with pytest.raises(SystemExit):
+                main(["--perf", "--repeats", bad])
+
+    def test_filtered_run_times_subset(self):
+        from repro.bench.perf import run_perf_suite
+
+        doc = run_perf_suite(
+            filter_patterns=["spanner/torus/16x16"], repeats=1
+        )
+        assert list(doc["kernels"]) == ["spanner/torus/16x16"]
+        assert doc["kernels"]["spanner/torus/16x16"]["repeats"] == 1
+        assert set(doc["environment"]) == {"python", "platform", "machine"}

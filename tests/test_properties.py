@@ -14,11 +14,15 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis.stretch import adjacent_pair_stretch
 from repro.core import SamplerParams, build_spanner
+from repro.core.distributed.schedule import PhaseKind, Schedule
 from repro.core.trials import NodeLabel, QueryResult, TrialMachine
 from repro.graphs import LevelMultigraph, contract, dense_gnm
 from repro.graphs.contraction import contraction_census
+from repro.local import FaultPlan
 from repro.local.network import Network
+from repro.local.runtime import run_program
 from repro.rng import RngFactory
+from repro.simulate.tlocal import _FloodProgram
 
 _SETTINGS = settings(
     max_examples=25,
@@ -150,6 +154,147 @@ class TestTrialMachineProperties:
             return machine.f_active, machine.label
 
         assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# schedule lookup and wake-round helpers
+# ---------------------------------------------------------------------------
+@st.composite
+def sampler_params(draw) -> SamplerParams:
+    k = draw(st.integers(min_value=1, max_value=3))
+    h = draw(st.integers(min_value=1, max_value=5))
+    return SamplerParams(k=k, h=h, seed=draw(st.integers(0, 100)))
+
+
+class TestScheduleProperties:
+    @_SETTINGS
+    @given(params=sampler_params())
+    def test_phases_partition_the_round_range(self, params):
+        schedule = Schedule.build(params)
+        phases = schedule.phases
+        assert phases[0].start == 1
+        assert phases[-1].end == schedule.total_rounds
+        for prev, nxt in zip(phases, phases[1:]):
+            assert prev.end + 1 == nxt.start
+        assert schedule.total_rounds <= schedule.rounds_bound(params)
+
+    @_SETTINGS
+    @given(params=sampler_params(), data=st.data())
+    def test_phase_at_round_trip(self, params, data):
+        schedule = Schedule.build(params)
+        round_index = data.draw(
+            st.integers(min_value=1, max_value=schedule.total_rounds)
+        )
+        phase, rel = schedule.phase_at(round_index)
+        assert phase.start <= round_index <= phase.end
+        assert rel == round_index - phase.start
+        assert 0 <= rel < phase.length
+
+    @_SETTINGS
+    @given(params=sampler_params(), data=st.data())
+    def test_phase_at_rejects_out_of_range(self, params, data):
+        schedule = Schedule.build(params)
+        bad = data.draw(
+            st.one_of(
+                st.integers(max_value=0),
+                st.integers(min_value=schedule.total_rounds + 1,
+                            max_value=schedule.total_rounds + 1000),
+            )
+        )
+        try:
+            schedule.phase_at(bad)
+        except ValueError:
+            pass
+        else:  # pragma: no cover - property violation
+            raise AssertionError("phase_at accepted an out-of-range round")
+
+    @_SETTINGS
+    @given(params=sampler_params(), data=st.data())
+    def test_next_phase_start_matches_brute_force(self, params, data):
+        schedule = Schedule.build(params)
+        round_index = data.draw(
+            st.integers(min_value=0, max_value=schedule.total_rounds + 2)
+        )
+        expected = min(
+            (s for s in schedule.phase_starts if s > round_index), default=None
+        )
+        assert schedule.next_phase_start(round_index) == expected
+
+    @_SETTINGS
+    @given(params=sampler_params())
+    def test_start_of_agrees_with_phase_list(self, params):
+        schedule = Schedule.build(params)
+        for phase in schedule.phases:
+            assert schedule.start_of(phase.kind, phase.level, phase.trial) == phase.start
+        try:
+            schedule.start_of(PhaseKind.STATUS, params.k)
+        except ValueError:
+            pass  # STATUS is skipped at the final level, as documented
+        else:  # pragma: no cover - property violation
+            raise AssertionError("start_of found a STATUS phase at level k")
+
+    @_SETTINGS
+    @given(params=sampler_params())
+    def test_wake_helpers_are_consistent(self, params):
+        schedule = Schedule.build(params)
+        starts = set(schedule.phase_starts)
+        skeleton = schedule.skeleton_wake_rounds()
+        assert list(skeleton) == sorted(skeleton)
+        assert set(skeleton) <= starts
+        skeleton_kinds = {PhaseKind.GATHER, PhaseKind.CAND, PhaseKind.END}
+        expected = sorted(
+            p.start for p in schedule.phases if p.kind in skeleton_kinds
+        )
+        assert list(skeleton) == expected
+        for level in range(params.levels):
+            leader = schedule.leader_wake_rounds(level)
+            assert list(leader) == sorted(leader)
+            assert set(leader) <= starts
+            leader_kinds = {PhaseKind.SCATTER, PhaseKind.STATUS, PhaseKind.JOIN}
+            assert list(leader) == sorted(
+                p.start
+                for p in schedule.phases
+                if p.level == level and p.kind in leader_kinds
+            )
+
+
+# ---------------------------------------------------------------------------
+# scheduler equivalence under random faults and budgets
+# ---------------------------------------------------------------------------
+class TestSchedulerEquivalenceProperties:
+    @_SETTINGS
+    @given(
+        net=small_network(),
+        seed=st.integers(min_value=0, max_value=100),
+        radius=st.integers(min_value=0, max_value=5),
+        drop=st.floats(min_value=0.0, max_value=0.4),
+        drop_seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_flood_reports_identical_across_schedulers(
+        self, net, seed, radius, drop, drop_seed
+    ):
+        plan = FaultPlan(drop_probability=drop, seed=drop_seed)
+
+        def run(scheduler):
+            return run_program(
+                net,
+                lambda node: _FloodProgram(node, node, radius),
+                seed=seed,
+                fixed_rounds=radius,
+                max_rounds=radius + 1,
+                faults=plan,
+                scheduler=scheduler,
+            )
+
+        dense = run("dense")
+        active = run("active")
+        assert dense.outputs == active.outputs
+        assert dense.rounds == active.rounds
+        assert dense.halted == active.halted
+        assert dense.messages.total == active.messages.total
+        assert dense.messages.dropped == active.messages.dropped
+        assert dense.messages.per_round == active.messages.per_round
+        assert dense.messages.by_tag == active.messages.by_tag
 
 
 # ---------------------------------------------------------------------------

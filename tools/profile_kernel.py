@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""One-shot cProfile wrapper around a perf-harness kernel.
+
+Hot-path PRs should start from data, not guesses::
+
+    PYTHONPATH=src python tools/profile_kernel.py spanner_dist/gnp/n2000
+    PYTHONPATH=src python tools/profile_kernel.py scheme/one_stage/gnp --sort tottime
+    PYTHONPATH=src python tools/profile_kernel.py --list
+
+The kernel's ``build()`` (input construction) runs outside the profile;
+only the measured body is profiled — the same split the harness times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile one BENCH_core kernel by name"
+    )
+    parser.add_argument(
+        "kernel",
+        nargs="?",
+        help="kernel name as it appears in BENCH_core.json "
+        "(e.g. spanner_dist/gnp/n2000)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print available kernel names"
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "ncalls"),
+        help="pstats sort key (default: cumulative)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=25, help="rows to print (default: 25)"
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="profile the kernel's baseline body instead (e.g. the dense "
+        "scheduler of a spanner_dist kernel)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.perf import default_kernels
+
+    kernels = {kernel.name: kernel for kernel in default_kernels()}
+    if args.list or not args.kernel:
+        for name in kernels:
+            print(name)
+        return 0 if args.list else 2
+    kernel = kernels.get(args.kernel)
+    if kernel is None:
+        sys.stderr.write(
+            f"unknown kernel {args.kernel!r}; use --list to see names\n"
+        )
+        return 2
+    body = kernel.run
+    if args.baseline:
+        if kernel.baseline is None:
+            sys.stderr.write(f"{kernel.name} has no baseline body\n")
+            return 2
+        body = kernel.baseline
+
+    net = kernel.build()
+    label = f"{kernel.name}{' (baseline)' if args.baseline else ''}"
+    print(f"profiling {label} on n={net.n}, m={net.m} ...", flush=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    body(net)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
