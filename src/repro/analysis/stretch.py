@@ -7,18 +7,30 @@ adjacent-pair condition ``dist_H(u, v) <= alpha`` for every edge
 :func:`adjacent_pair_stretch` measures — exactly for small graphs,
 or over a seeded sample of edges for large ones.
 
-BFS is implemented directly over adjacency lists (no networkx in the
-hot path) so exact measurement stays usable up to a few thousand nodes.
+Distances come from the shared distance plane
+(:mod:`repro.graphs.distance`, DESIGN.md §3.7): the default ``vector``
+engine batches one truncated BFS per queried source through NumPy
+bitset sweeps, which keeps *exact* measurement usable at tens of
+thousands of nodes; ``engine="reference"`` runs the original deque BFS
+per source.  Both engines produce equal :class:`StretchReport` values
+(sums are accumulated order-independently), which the property tests
+enforce.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.graphs.distance import (
+    bfs_exhausted,
+    csr_from_adjacency,
+    distance_blocks,
+    resolve_engine,
+    single_source_distances,
+)
 from repro.local.network import Network
 
 __all__ = ["StretchReport", "adjacent_pair_stretch", "pairwise_stretch", "bfs_distances"]
@@ -61,30 +73,46 @@ def _adjacency(network: Network, edge_ids: Iterable[int] | None = None) -> list[
 def bfs_distances(
     adj: Sequence[Sequence[int]], source: int, cutoff: float = _UNREACHABLE
 ) -> dict[int, int]:
-    """Unweighted single-source distances, optionally truncated at ``cutoff``."""
-    dist = {source: 0}
-    queue = deque([source])
-    while queue:
-        node = queue.popleft()
-        d = dist[node]
-        if d >= cutoff:
-            continue
-        for nxt in adj[node]:
-            if nxt not in dist:
-                dist[nxt] = d + 1
-                queue.append(nxt)
-    return dist
+    """Unweighted single-source distances, optionally truncated at ``cutoff``.
 
-
-def _bfs_exhausted(dist: dict[int, int], cutoff: float) -> bool:
-    """Whether a truncated BFS provably explored its whole component.
-
-    When no node sits at distance ``cutoff`` the frontier died before the
-    truncation could bite, so any node missing from ``dist`` is genuinely
-    disconnected; otherwise a missing node may merely lie beyond the
-    cutoff.
+    Thin alias of :func:`repro.graphs.distance.single_source_distances`
+    — the distance plane's reference BFS — kept here because callers
+    across the simulate layer import it under this name.
     """
-    return cutoff == _UNREACHABLE or all(d < cutoff for d in dist.values())
+    return single_source_distances(adj, source, cutoff)
+
+
+def _distance_rows(
+    adj: Sequence[Sequence[int]],
+    sources: Sequence[int],
+    cutoff: float,
+    engine: str,
+):
+    """Yield ``(source, lookup, exhausted)`` per queried source.
+
+    ``lookup(target)`` returns the distance or ``None`` when the target
+    was not reached; ``exhausted`` mirrors
+    :func:`~repro.graphs.distance.bfs_exhausted`.  The vector engine
+    batches all sources through the bitset sweep; the reference engine
+    runs the original per-source deque BFS.
+    """
+    if engine == "reference":
+        for source in sources:
+            dist = single_source_distances(adj, source, cutoff=cutoff)
+            yield source, dist.get, bfs_exhausted(dist, cutoff)
+        return
+    indptr, indices = csr_from_adjacency(adj)
+    for offset, dist, exhausted in distance_blocks(
+        indptr, indices, sources, cutoff=cutoff
+    ):
+        for i in range(dist.shape[0]):
+            row = dist[i]
+
+            def lookup(target: int, row=row):
+                d = int(row[target])
+                return None if d < 0 else d
+
+            yield sources[offset + i], lookup, bool(exhausted[i])
 
 
 def adjacent_pair_stretch(
@@ -94,13 +122,16 @@ def adjacent_pair_stretch(
     sample: int | None = None,
     seed: int = 0,
     cutoff: float = _UNREACHABLE,
+    engine: str | None = None,
 ) -> StretchReport:
     """Measure ``dist_H`` over edges of ``G`` (the spanner-defining pairs).
 
     ``sample=None`` measures every edge; otherwise ``sample`` edges are
     drawn without replacement with a seeded RNG.  ``cutoff`` truncates
     BFS (useful when the caller only needs to check a known bound).
+    ``engine`` selects the distance plane implementation.
     """
+    engine = resolve_engine(engine)
     spanner_adj = _adjacency(network, sorted(set(spanner_edges)))
     eids = list(network.edge_ids)
     if sample is not None and sample < len(eids):
@@ -117,12 +148,13 @@ def adjacent_pair_stretch(
     unreachable = 0
     beyond = 0
     measured = 0
-    for source, targets in by_source.items():
-        dist = bfs_distances(spanner_adj, source, cutoff=cutoff)
-        exhausted = _bfs_exhausted(dist, cutoff)
-        for target in targets:
+    sources = list(by_source)
+    for source, lookup, exhausted in _distance_rows(
+        spanner_adj, sources, cutoff, engine
+    ):
+        for target in by_source[source]:
             measured += 1
-            d = dist.get(target)
+            d = lookup(target)
             if d is None:
                 if exhausted:
                     unreachable += 1
@@ -147,32 +179,40 @@ def pairwise_stretch(
     *,
     sources: int | None = None,
     seed: int = 0,
+    engine: str | None = None,
 ) -> StretchReport:
-    """Max/mean of ``dist_H / dist_G`` over (sampled-source) node pairs."""
+    """Max/mean of ``dist_H / dist_G`` over (sampled-source) node pairs.
+
+    Ratios are summed with :func:`math.fsum` (exact, hence independent
+    of target enumeration order), so the two engines return identical
+    reports even though they walk targets in different orders.
+    """
+    engine = resolve_engine(engine)
     g_adj = _adjacency(network)
     h_adj = _adjacency(network, sorted(set(spanner_edges)))
     nodes = list(network.nodes())
     if sources is not None and sources < len(nodes):
         nodes = random.Random(seed).sample(nodes, sources)
     worst = 0.0
-    total = 0.0
+    ratios: list[float] = []
     measured = 0
     unreachable = 0
-    for source in nodes:
-        dg = bfs_distances(g_adj, source)
-        dh = bfs_distances(h_adj, source)
-        for target, d_g in dg.items():
-            if target == source or d_g == 0:
+    rows_g = _distance_rows(g_adj, nodes, _UNREACHABLE, engine)
+    rows_h = _distance_rows(h_adj, nodes, _UNREACHABLE, engine)
+    for (source, dg, _), (_, dh, _) in zip(rows_g, rows_h):
+        for target in range(network.n):
+            d_g = dg(target)
+            if d_g is None or target == source or d_g == 0:
                 continue
             measured += 1
-            d_h = dh.get(target)
+            d_h = dh(target)
             if d_h is None:
                 unreachable += 1
             else:
                 ratio = d_h / d_g
                 worst = max(worst, ratio)
-                total += ratio
-    mean = total / max(1, measured - unreachable)
+                ratios.append(ratio)
+    mean = math.fsum(ratios) / max(1, measured - unreachable)
     return StretchReport(
         max_stretch=worst,
         mean_stretch=mean,

@@ -27,6 +27,7 @@ def validate_spanner(
     check_size_envelope: bool = True,
     stretch_sample: int | None = None,
     seed: int = 0,
+    engine: str | None = None,
 ) -> SpannerValidation:
     """Raise :class:`ValidationError` unless ``result`` is a valid spanner.
 
@@ -48,6 +49,7 @@ def validate_spanner(
         sample=stretch_sample,
         seed=seed,
         cutoff=bound + 1,
+        engine=engine,
     )
     if report.unreachable_pairs or report.beyond_cutoff:
         # Both buckets violate the bound here: the BFS cutoff is bound+1,

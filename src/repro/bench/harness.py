@@ -9,6 +9,8 @@ Examples::
     python -m repro.bench --perf --check            # fail on >25% regression
     python -m repro.bench --perf --check --filter "spanner/*,flood/*"
     python -m repro.bench --perf --repeats 3        # override best-of counts
+    python -m repro.bench --perf --jobs 4           # kernels across 4 processes
+    python -m repro.bench --experiment all --jobs 4 # experiments in parallel
 """
 
 from __future__ import annotations
@@ -16,11 +18,26 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.tables import format_table
 
 __all__ = ["main"]
+
+
+def _run_experiment_chunk(name: str, scale: str) -> tuple[str, bool]:
+    """Worker for ``--jobs``: run one experiment, return its rendered
+    chunk and whether it failed.  Each experiment cell is
+    seed-deterministic, so chunks merge order-independently; the parent
+    re-emits them in canonical experiment order."""
+    started = time.perf_counter()
+    try:
+        table = run_experiment(name, scale)
+    except AssertionError as exc:
+        return f"== {name}: FAILED ==\n{exc}", True
+    elapsed = time.perf_counter() - started
+    return f"{format_table(table)}\n({elapsed:.1f}s)", False
 
 
 def _positive_int(value: str) -> int:
@@ -95,6 +112,15 @@ def main(argv: list[str] | None = None) -> int:
         help="with --perf: override every kernel's best-of repeat count",
     )
     parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="run independent perf kernels / experiments in N worker "
+        "processes (results merge deterministically; timings share the "
+        "machine, so prefer --jobs 1 when ratcheting the perf baseline)",
+    )
+    parser.add_argument(
         "--update-readme",
         action="store_true",
         help="with --perf: regenerate the README's Performance section",
@@ -116,17 +142,18 @@ def main(argv: list[str] | None = None) -> int:
 
     chunks: list[str] = []
     failures = 0
-    for name in names:
-        started = time.perf_counter()
-        try:
-            table = run_experiment(name, args.scale)
-        except AssertionError as exc:
-            failures += 1
-            chunks.append(f"== {name}: FAILED ==\n{exc}")
-            continue
-        elapsed = time.perf_counter() - started
-        rendered = format_table(table)
-        chunks.append(f"{rendered}\n({elapsed:.1f}s)")
+    if args.jobs > 1 and len(names) > 1:
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            for chunk, failed in pool.map(
+                _run_experiment_chunk, names, [args.scale] * len(names)
+            ):
+                failures += int(failed)
+                chunks.append(chunk)
+    else:
+        for name in names:
+            chunk, failed = _run_experiment_chunk(name, args.scale)
+            failures += int(failed)
+            chunks.append(chunk)
     output = "\n\n".join(chunks) + "\n"
     sys.stdout.write(output)
     if args.out:

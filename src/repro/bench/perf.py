@@ -3,10 +3,12 @@
 Times the simulator's hot kernels — centralized spanner construction on
 three graph families × three sizes, the *distributed* construction under
 the active scheduler with its dense baseline (``spanner_dist/*``), the
-fast flood engine on a spanner of each family (``flood/*``), and the
-end-to-end one- and two-stage message-reduction schemes on each family —
-and records the results in ``BENCH_core.json`` at the repo root.  Every
-future PR then has a trajectory to beat:
+flood-schedule derivation on a spanner of each family (``flood/*``,
+including the vector-only ``n10000`` instances), the exact adjacent-pair
+stretch measurement (``stretch/*``), and the end-to-end one- and
+two-stage message-reduction schemes on each family — and records the
+results in ``BENCH_core.json`` at the repo root.  Every future PR then
+has a trajectory to beat:
 
 * ``--perf``            run the suite, print a table, write the JSON;
 * ``--perf --check``    run the suite and exit non-zero if any kernel is
@@ -14,12 +16,20 @@ future PR then has a trajectory to beat:
 * ``--perf --filter G`` run only kernels matching the comma-separated
   fnmatch globs ``G`` (with ``--check``: compare only those kernels);
 * ``--perf --repeats N``  override every kernel's best-of count;
+* ``--perf --jobs N``   time independent kernels in ``N`` worker
+  processes (each kernel is seed-deterministic, so results merge
+  order-independently; wall-clock timings share the machine, so prefer
+  serial runs when ratcheting the committed baseline);
 * ``--perf --update-readme``  regenerate the README's Performance
   section from the freshly measured numbers.
 
-The JSON also records environment metadata (python version, platform,
-machine) so baseline numbers can be interpreted across hosts; metadata
-never participates in the regression check.
+Each kernel records its best (``seconds``) *and* median
+(``median_seconds``) over the repeat samples; a warning is printed when
+the sample spread exceeds :data:`SPREAD_WARNING` so noisy ``--check``
+failures are diagnosable.  The JSON also records environment metadata
+(python/numpy/networkx versions, platform, machine) so baseline numbers
+can be interpreted across hosts; metadata and medians never participate
+in the regression check.
 
 The flagship kernel (``spanner/gnp/n2000`` — ``G(n=2000)`` at average
 degree 8) is additionally timed under the seed recount strategy
@@ -35,21 +45,28 @@ from __future__ import annotations
 import fnmatch
 import json
 import platform
+import statistics
 import sys
 import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable
 
+import networkx
+import numpy
+
 from repro.algorithms import BallCollect
+from repro.analysis.stretch import adjacent_pair_stretch
 from repro.core import SamplerParams, build_spanner
 from repro.core.distributed import build_spanner_distributed
 from repro.graphs import barabasi_albert, erdos_renyi, torus
 from repro.local.network import Network
-from repro.simulate import run_one_stage, run_two_stage, t_local_broadcast
+from repro.simulate import flood_schedule, run_one_stage, run_two_stage
 
 __all__ = [
     "BENCH_FILE",
     "REGRESSION_TOLERANCE",
+    "SPREAD_WARNING",
     "run_perf_suite",
     "check_against",
     "format_report",
@@ -60,6 +77,7 @@ __all__ = [
 
 BENCH_FILE = "BENCH_core.json"
 REGRESSION_TOLERANCE = 0.25  # fail --check beyond +25% on any kernel
+SPREAD_WARNING = 0.20  # warn when (max - min) / min across samples exceeds this
 FLAGSHIP = "spanner/gnp/n2000"
 
 _SPANNER_PARAMS = SamplerParams(k=2, h=2, seed=1)
@@ -73,13 +91,21 @@ class Kernel:
     callable is timed alongside on the same input and recorded as
     ``baseline_seconds`` plus the resulting ``speedup`` — used by the
     ``spanner_dist/*`` kernels to pin active- vs dense-scheduler cost.
+
+    ``build`` may return any object ``run`` understands; when it is not
+    a :class:`Network`, the first element of the returned tuple must be
+    (the recorded ``n``/``m`` come from it).
     """
 
     name: str
-    build: Callable[[], Network]
-    run: Callable[[Network], object]
+    build: Callable[[], object]
+    run: Callable[[object], object]
     repeats: int = 5  # best-of; sub-100ms kernels need the extra samples
-    baseline: Callable[[Network], object] | None = None
+    baseline: Callable[[object], object] | None = None
+
+
+def _net_of(built: object) -> Network:
+    return built[0] if isinstance(built, tuple) else built
 
 
 def _gnp(n: int) -> Network:
@@ -104,8 +130,9 @@ def _one_stage(net: Network) -> object:
     return run_one_stage(net, BallCollect(2), params=_SCHEME_PARAMS, seed=33)
 
 
-FLOOD_RADIUS = 4  # balls reach most of the graph without the collected
-# dicts dwarfing the sweep itself
+FLOOD_RADIUS = 4  # balls reach most of the graph; the kernel times the
+# schedule derivation (balls + ecc + exact message counts), which is the
+# Lemma 12 engine itself — payload-dict assembly is workload-specific
 
 # spanner_dist/* kernels run the Theorem 11 schedule in its quiescent
 # regime — k ~ log log n, h ~ log n (both paper-legal), sparse inputs —
@@ -124,7 +151,16 @@ def _spanner_sub(net: Network) -> Network:
 
 
 def _flood(sub: Network) -> object:
-    return t_local_broadcast(sub, lambda v: v, FLOOD_RADIUS)
+    return flood_schedule(sub, FLOOD_RADIUS)
+
+
+def _stretch_input(net: Network) -> tuple[Network, frozenset[int]]:
+    return net, build_spanner(net, _SPANNER_PARAMS).edges
+
+
+def _stretch(built: tuple[Network, frozenset[int]]) -> object:
+    net, edges = built
+    return adjacent_pair_stretch(net, edges)
 
 
 def _spanner_dist(family: str):
@@ -146,10 +182,12 @@ def _spanner_dist_dense(family: str):
 def default_kernels() -> list[Kernel]:
     """3 graph families × 3 sizes of spanner construction, the
     distributed construction (active scheduler vs its dense baseline)
-    on one instance per family, the fast flood engine over a spanner of
-    the largest instance of each family, plus the one- and two-stage
-    schemes (distributed stage 1 + every simulation) on a small and one
-    larger instance."""
+    on one instance per family, the flood-schedule engine over a
+    spanner of the largest instance of each family (plus the
+    vector-only ``n10000`` instances), the exact adjacent-pair stretch
+    measurement at ``n5000``, plus the one- and two-stage schemes
+    (distributed stage 1 + every simulation) on a small and one larger
+    instance."""
     kernels: list[Kernel] = []
     for n in (500, 1000, 2000):
         kernels.append(Kernel(f"spanner/gnp/n{n}", lambda n=n: _gnp(n), _spanner))
@@ -195,6 +233,33 @@ def default_kernels() -> list[Kernel]:
             _flood,
         )
     )
+    # The n >= 10^4 instances are feasible only under the vector
+    # distance engine (DESIGN.md §3.7): the per-node Python BFS they
+    # replaced needs minutes at this scale.
+    kernels.append(
+        Kernel(
+            "flood/gnp/n10000",
+            lambda: _spanner_sub(erdos_renyi(10000, 8 / 9999, seed=1)),
+            _flood,
+            repeats=3,
+        )
+    )
+    kernels.append(
+        Kernel(
+            "flood/ba/n10000",
+            lambda: _spanner_sub(barabasi_albert(10000, 4, seed=1)),
+            _flood,
+            repeats=3,
+        )
+    )
+    kernels.append(
+        Kernel(
+            "stretch/gnp/n5000",
+            lambda: _stretch_input(erdos_renyi(5000, 8 / 4999, seed=1)),
+            _stretch,
+            repeats=3,
+        )
+    )
     for name, build in (
         ("gnp", lambda: erdos_renyi(150, 0.18, seed=27)),
         ("torus", lambda: torus(12, 12)),
@@ -217,15 +282,83 @@ def default_kernels() -> list[Kernel]:
     return kernels
 
 
-def _best_of(run: Callable[[Network], object], net: Network, repeats: int) -> float:
-    best = float("inf")
+def _samples(run: Callable[[object], object], built: object, repeats: int) -> list[float]:
+    out: list[float] = []
     for _ in range(repeats):
         started = time.perf_counter()
-        run(net)
-        elapsed = time.perf_counter() - started
-        if elapsed < best:
-            best = elapsed
-    return best
+        run(built)
+        out.append(time.perf_counter() - started)
+    return out
+
+
+def _spread(samples: list[float]) -> float:
+    low = min(samples)
+    if low <= 0:
+        return 0.0
+    return (max(samples) - low) / low
+
+
+def _measure_kernel(kernel: Kernel, repeats: int | None) -> tuple[dict, dict | None]:
+    """Build and time one kernel; returns ``(entry, flagship_or_None)``.
+
+    The entry carries best (``seconds``) and ``median_seconds`` over the
+    samples plus input sizes; the flagship kernel also times the seed
+    recount path so the optimized/seed speedup stays on record.
+    """
+    built = kernel.build()
+    net = _net_of(built)
+    best_of = repeats if repeats is not None else kernel.repeats
+    samples = _samples(kernel.run, built, best_of)
+    seconds = min(samples)
+    entry = {
+        "seconds": round(seconds, 4),
+        "median_seconds": round(statistics.median(samples), 4),
+        "n": net.n,
+        "m": net.m,
+        "repeats": best_of,
+    }
+    spread = _spread(samples)
+    if spread > SPREAD_WARNING:
+        entry["spread"] = round(spread, 2)
+    if kernel.baseline is not None:
+        baseline = min(_samples(kernel.baseline, built, best_of))
+        entry["baseline_seconds"] = round(baseline, 4)
+        entry["speedup"] = round(baseline / seconds, 2)
+    flagship = None
+    if kernel.name == FLAGSHIP:
+        reference = min(_samples(_spanner_reference, built, best_of))
+        flagship = {
+            "kernel": FLAGSHIP,
+            "optimized_seconds": round(seconds, 4),
+            "reference_seconds": round(reference, 4),
+            "speedup": round(reference / seconds, 2),
+        }
+    return entry, flagship
+
+
+def _measure_named_kernel(name: str, repeats: int | None) -> tuple[dict, dict | None]:
+    """Worker entry point for ``--jobs``: kernels hold closures, so the
+    pool ships names and each worker rebuilds its kernel locally."""
+    for kernel in default_kernels():
+        if kernel.name == name:
+            return _measure_kernel(kernel, repeats)
+    raise KeyError(f"unknown kernel {name!r}")
+
+
+def _progress_line(name: str, entry: dict) -> str:
+    line = f"{name}: {entry['seconds']:.3f}s (n={entry['n']}, m={entry['m']})"
+    if "baseline_seconds" in entry:
+        line += (
+            f"; dense baseline {entry['baseline_seconds']:.3f}s "
+            f"-> {entry['speedup']:.2f}x"
+        )
+    if "spread" in entry:
+        line += (
+            f"  ** warning: sample spread {entry['spread'] * 100:.0f}% exceeds "
+            f"{SPREAD_WARNING * 100:.0f}% — timings are noisy, re-run before "
+            f"trusting a --check verdict **"
+        )
+    return line
 
 
 def _environment() -> dict:
@@ -234,6 +367,8 @@ def _environment() -> dict:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "numpy": numpy.__version__,
+        "networkx": networkx.__version__,
     }
 
 
@@ -256,53 +391,54 @@ def run_perf_suite(
     *,
     filter_patterns: list[str] | None = None,
     repeats: int | None = None,
+    jobs: int = 1,
 ) -> dict:
     """Time every kernel (or the ``filter_patterns`` subset); returns
     the ``BENCH_core.json`` document.  ``repeats`` overrides each
-    kernel's best-of count when given."""
+    kernel's best-of count when given.  ``jobs > 1`` times kernels in
+    that many worker processes; kernels are seed-deterministic and
+    independent, so the document is assembled in canonical kernel order
+    regardless of completion order."""
     doc: dict = {
         "schema": 1,
         "suite": "core",
         "environment": _environment(),
         "kernels": {},
     }
-    for kernel in default_kernels():
-        if not _matches(kernel.name, filter_patterns):
-            continue
-        net = kernel.build()
-        best_of = repeats if repeats is not None else kernel.repeats
-        seconds = _best_of(kernel.run, net, best_of)
-        entry = {
-            "seconds": round(seconds, 4),
-            "n": net.n,
-            "m": net.m,
-            "repeats": best_of,
-        }
-        if kernel.baseline is not None:
-            baseline = _best_of(kernel.baseline, net, best_of)
-            entry["baseline_seconds"] = round(baseline, 4)
-            entry["speedup"] = round(baseline / seconds, 2)
-        doc["kernels"][kernel.name] = entry
-        if progress:
-            line = f"{kernel.name}: {seconds:.3f}s (n={net.n}, m={net.m})"
-            if kernel.baseline is not None:
-                line += (
-                    f"; dense baseline {entry['baseline_seconds']:.3f}s "
-                    f"-> {entry['speedup']:.2f}x"
-                )
-            progress(line)
-        if kernel.name == FLAGSHIP:
-            reference = _best_of(_spanner_reference, net, best_of)
-            doc["flagship"] = {
-                "kernel": FLAGSHIP,
-                "optimized_seconds": round(seconds, 4),
-                "reference_seconds": round(reference, 4),
-                "speedup": round(reference / seconds, 2),
+    names = [
+        kernel.name
+        for kernel in default_kernels()
+        if _matches(kernel.name, filter_patterns)
+    ]
+    results: dict[str, tuple[dict, dict | None]] = {}
+    if jobs > 1 and len(names) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pending = {
+                pool.submit(_measure_named_kernel, name, repeats): name
+                for name in names
             }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = pending.pop(future)
+                    results[name] = future.result()
+                    if progress:
+                        progress(_progress_line(name, results[name][0]))
+    else:
+        for name in names:
+            results[name] = _measure_named_kernel(name, repeats)
+            if progress:
+                progress(_progress_line(name, results[name][0]))
+    for name in names:
+        entry, flagship = results[name]
+        doc["kernels"][name] = entry
+        if flagship is not None:
+            doc["flagship"] = flagship
             if progress:
                 progress(
-                    f"{FLAGSHIP} seed-path reference: {reference:.3f}s "
-                    f"(speedup {reference / seconds:.2f}x)"
+                    f"{FLAGSHIP} seed-path reference: "
+                    f"{flagship['reference_seconds']:.3f}s "
+                    f"(speedup {flagship['speedup']:.2f}x)"
                 )
     return doc
 
@@ -348,11 +484,15 @@ def format_report(doc: dict) -> str:
             f"  {name:<{width}}  {entry['seconds']:8.3f}s   "
             f"n={entry['n']:<6} m={entry['m']}"
         )
+        if "median_seconds" in entry:
+            line += f"   median {entry['median_seconds']:.3f}s"
         if "baseline_seconds" in entry:
             line += (
                 f"   dense {entry['baseline_seconds']:.3f}s "
                 f"({entry['speedup']:.2f}x)"
             )
+        if "spread" in entry:
+            line += f"   !spread {entry['spread'] * 100:.0f}%"
         lines.append(line)
     flagship = doc.get("flagship")
     if flagship:
@@ -377,17 +517,20 @@ def render_readme_section(doc: dict) -> str:
     lines = [
         README_BEGIN,
         "",
-        "| kernel | n | m | best time | dense baseline |",
-        "|---|---:|---:|---:|---:|",
+        "| kernel | n | m | best time | median | dense baseline |",
+        "|---|---:|---:|---:|---:|---:|",
     ]
     for name, entry in doc["kernels"].items():
         if "baseline_seconds" in entry:
             baseline = f"{entry['baseline_seconds']:.3f}s ({entry['speedup']:.2f}x)"
         else:
             baseline = "—"
+        median = (
+            f"{entry['median_seconds']:.3f}s" if "median_seconds" in entry else "—"
+        )
         lines.append(
             f"| `{name}` | {entry['n']} | {entry['m']} | "
-            f"{entry['seconds']:.3f}s | {baseline} |"
+            f"{entry['seconds']:.3f}s | {median} | {baseline} |"
         )
     flagship = doc.get("flagship")
     if flagship:
@@ -404,13 +547,19 @@ def render_readme_section(doc: dict) -> str:
         "`spanner_dist/*` kernels time the distributed `Sampler` under the "
         "active-set scheduler; their dense-baseline column times the same "
         "input with `scheduler=\"dense\"` (identical `RunReport`s, "
-        "DESIGN.md §3.6)."
+        "DESIGN.md §3.6).  `flood/*` kernels time the Lemma 12 schedule "
+        "derivation and `stretch/*` the exact footnote-1 measurement, both "
+        "on the vector distance plane (NumPy bitset BFS, DESIGN.md §3.7); "
+        "the `n10000`/`n5000` instances are feasible only vectorized."
     )
     lines.append("")
     lines.append(
         "Regenerate with `PYTHONPATH=src python -m repro.bench --perf "
         "--update-readme`; gate regressions with `--perf --check` "
-        "(fails beyond +25% on any kernel)."
+        "(fails beyond +25% on any kernel's best time; medians are "
+        "informational).  `--jobs N` times independent kernels in N "
+        "processes — same kernel set, shared machine, so ratchet the "
+        "committed baseline from serial runs."
     )
     lines.append(README_END)
     return "\n".join(lines)
@@ -437,10 +586,12 @@ def main_perf(args) -> int:
     """Entry point used by ``repro.bench.harness`` for ``--perf``."""
     patterns = parse_filter(getattr(args, "filter", None))
     repeats = getattr(args, "repeats", None)
+    jobs = getattr(args, "jobs", None) or 1
     doc = run_perf_suite(
         progress=lambda line: print(f"  .. {line}", flush=True),
         filter_patterns=patterns,
         repeats=repeats,
+        jobs=jobs,
     )
     sys.stdout.write(format_report(doc) + "\n")
     if args.check:

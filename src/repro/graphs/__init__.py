@@ -7,8 +7,18 @@
   graph ``G_j`` of the paper (cluster nodes, parallel edges carried as
   original edge ids).
 * :mod:`repro.graphs.contraction` — builds ``G_{j+1} = G_j(C)``.
+* :mod:`repro.graphs.distance` — the distance plane: batched truncated
+  BFS over CSR arrays (NumPy bitset sweeps + the pure-Python reference
+  engine) behind every flood/stretch/coverage computation.
 """
 
+from repro.graphs.distance import (
+    DISTANCE_ENGINES,
+    BallFamily,
+    balls_and_eccentricities,
+    default_engine,
+    eccentricities,
+)
 from repro.graphs.generators import (
     barabasi_albert,
     caveman,
@@ -24,8 +34,13 @@ from repro.graphs.multigraph import LevelMultigraph
 from repro.graphs.contraction import contract
 
 __all__ = [
+    "BallFamily",
+    "DISTANCE_ENGINES",
     "LevelMultigraph",
+    "balls_and_eccentricities",
     "barabasi_albert",
+    "default_engine",
+    "eccentricities",
     "caveman",
     "complete_graph",
     "contract",

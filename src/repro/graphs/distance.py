@@ -1,0 +1,515 @@
+"""The distance plane: batched truncated BFS over CSR arrays (DESIGN.md §3.7).
+
+Every truncated-BFS consumer in the codebase — the Lemma 12 flood
+schedule, the footnote-1 stretch measurement, the transformer's
+``B_t``-coverage check, diameter/eccentricity precomputes — is,
+computationally, the same kernel: level sets of an unweighted BFS,
+capped at a radius, from one or many sources.  This module owns that
+kernel once, in two interchangeable engines:
+
+* ``engine="vector"`` (default) — NumPy bitset frontier sweeps.  The
+  graph lives as a flat neighbor CSR (``indptr``/``indices``); a block
+  of sources is packed along a uint64 bit dimension, so one BFS level
+  is a row-gather of the packed frontier through ``indices`` plus a
+  segmented ``bitwise_or.reduceat`` per destination node, then
+  ``newly = expanded & ~visited`` — all 64 sources of a word advance
+  per machine word.  No per-node Python loop ever runs; memory is
+  bounded by processing sources in blocks sized so the *unpacked*
+  ``(rows, n)`` stages stay under a fixed cell budget.
+* ``engine="reference"`` — the pure-Python frontier-list/deque BFS the
+  repo shipped with, kept verbatim as the equivalence baseline
+  (DESIGN.md §3.4 step 1).  The test suite asserts value-identical
+  results between the engines across families × radii × seeds, and CI
+  runs a tier-1 job with ``REPRO_DISTANCE_ENGINE=reference`` so this
+  fallback cannot rot.
+
+The default engine is overridable per call (``engine=...``) or per
+process (the ``REPRO_DISTANCE_ENGINE`` environment variable), which is
+how the reference-engine CI job drives every consumer through the
+pure-Python path without touching call sites.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections import deque
+from collections.abc import Sequence
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "DISTANCE_ENGINES",
+    "BallFamily",
+    "default_engine",
+    "resolve_engine",
+    "adjacency_csr",
+    "csr_from_adjacency",
+    "balls_and_eccentricities",
+    "distance_blocks",
+    "ball_matrix_blocks",
+    "single_source_distances",
+    "bfs_exhausted",
+    "eccentricities",
+]
+
+DISTANCE_ENGINES = ("vector", "reference")
+ENGINE_ENV = "REPRO_DISTANCE_ENGINE"
+
+_UNREACHABLE = math.inf
+
+# Cap on unpacked-matrix cells (rows x n) per source block; the packed
+# bitset state is 64x smaller, so this bounds the unpack/extract stage.
+_BLOCK_CELLS = 1 << 25
+# Distance-tracking sweeps hold an int32 (rows, n) matrix; cap it lower.
+_BLOCK_CELLS_DIST = 1 << 23
+
+
+def default_engine() -> str:
+    """The process-wide engine: ``vector`` unless the env var says not."""
+    return os.environ.get(ENGINE_ENV, "vector")
+
+
+def resolve_engine(engine: str | None) -> str:
+    name = default_engine() if engine is None else engine
+    if name not in DISTANCE_ENGINES:
+        raise ValueError(
+            f"unknown distance engine {name!r}; expected one of {DISTANCE_ENGINES}"
+        )
+    return name
+
+
+# ----------------------------------------------------------------------
+# CSR construction
+# ----------------------------------------------------------------------
+def adjacency_csr(network) -> tuple[np.ndarray, np.ndarray]:
+    """Neighbor CSR ``(indptr, indices)`` of a :class:`Network`.
+
+    Derived in O(m) vector ops straight from the network's endpoint
+    arrays — node ``v``'s neighbors are
+    ``indices[indptr[v]:indptr[v + 1]]``.  Neighbor order within a row
+    is unspecified (BFS level sets do not depend on it).
+    """
+    n = network.n
+    _, ep_u, ep_v = network.endpoints_flat()
+    us = np.frombuffer(ep_u, dtype=np.int64)
+    vs = np.frombuffer(ep_v, dtype=np.int64)
+    heads = np.concatenate((us, vs))
+    tails = np.concatenate((vs, us))
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(heads, minlength=n), out=indptr[1:])
+    indices = tails[np.argsort(heads, kind="stable")]
+    return indptr, indices
+
+
+def csr_from_adjacency(adj: Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Neighbor CSR from plain adjacency lists (one copy, no validation)."""
+    n = len(adj)
+    counts = np.fromiter((len(row) for row in adj), dtype=np.int64, count=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    total = int(indptr[-1])
+    indices = np.fromiter(
+        (w for row in adj for w in row), dtype=np.int64, count=total
+    )
+    return indptr, indices
+
+
+def _block_rows(n: int, n_sources: int, *, track_dist: bool = False) -> int:
+    cells = _BLOCK_CELLS_DIST if track_dist else _BLOCK_CELLS
+    return max(1, min(n_sources, cells // max(1, n)))
+
+
+# ----------------------------------------------------------------------
+# the batched sweep (vector engine core)
+# ----------------------------------------------------------------------
+def _sweep(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: np.ndarray,
+    n: int,
+    levels: int | None,
+    *,
+    track_dist: bool,
+) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+    """One frontier sweep for a block of *distinct* sources.
+
+    The block's sources are packed along a uint64 bit dimension:
+    ``visited[v, w]`` holds, in bit ``i % 64`` of word ``w == i // 64``,
+    whether source ``i`` has reached node ``v``.  A level is then one
+    row-gather of the packed frontier through the flat ``indices`` array
+    plus a segmented ``bitwise_or.reduceat`` per destination node — all
+    64 sources of a word advance per machine word, which is what makes
+    the sweep memory-bound rather than interpreter-bound.
+
+    Returns ``(visited, dist, ecc)``: ``visited`` is the packed
+    ``(n, words)`` uint64 bitset, ``dist`` is ``(n, rows)`` int32 with
+    ``-1`` for unreached (``None`` unless tracked; callers transpose),
+    and ``ecc[i]`` is the last level at which source ``i``'s frontier
+    was non-empty — its ``levels``-capped eccentricity.  ``levels=None``
+    sweeps until every frontier dies.
+    """
+    rows = len(sources)
+    words = (rows + 63) >> 6
+    bits = np.uint64(1) << (np.arange(rows, dtype=np.uint64) & np.uint64(63))
+    word_of = np.arange(rows) >> 6
+    visited = np.zeros((n, words), dtype=np.uint64)
+    visited[sources, word_of] = bits
+    dist = None
+    if track_dist:
+        dist = np.full((n, rows), -1, dtype=np.int32)
+        dist[sources, np.arange(rows)] = 0
+    ecc = np.zeros(rows, dtype=np.int64)
+    # reduceat boundaries over non-isolated nodes only: consecutive
+    # boundaries then always cut non-empty, correctly-owned segments
+    # (zero-degree nodes in between contribute empty ranges).
+    deg = indptr[1:] - indptr[:-1]
+    live = np.nonzero(deg > 0)[0]
+    boundaries = indptr[live]
+    frontier = visited.copy()
+    level = 0
+    while live.size and (levels is None or level < levels):
+        gathered = frontier[indices]
+        expanded = np.zeros_like(frontier)
+        expanded[live] = np.bitwise_or.reduceat(gathered, boundaries, axis=0)
+        newly = expanded & ~visited
+        alive = np.bitwise_or.reduce(newly, axis=0)
+        if not alive.any():
+            break
+        level += 1
+        visited |= newly
+        alive_sources = np.nonzero(
+            np.unpackbits(alive.view(np.uint8), bitorder="little")[:rows]
+        )[0]
+        ecc[alive_sources] = level
+        if dist is not None:
+            unpacked = np.unpackbits(
+                newly.view(np.uint8), axis=1, bitorder="little"
+            )[:, :rows]
+            dist[unpacked.view(bool)] = level
+        frontier = newly
+    return visited, dist, ecc
+
+
+def _unpack_bool(packed: np.ndarray, columns: int) -> np.ndarray:
+    """``(n, words)`` uint64 bitset -> ``(n, columns)`` bool matrix."""
+    return np.unpackbits(packed.view(np.uint8), axis=1, bitorder="little")[
+        :, :columns
+    ].view(bool)
+
+
+def _pack_rows(matrix: np.ndarray) -> np.ndarray:
+    """Bool/0-1 ``(rows, n)`` matrix -> per-row little-endian uint8 bitset."""
+    return np.packbits(matrix, axis=1, bitorder="little")
+
+
+def _popcounts(packed_u8: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts of a ``(rows, bytes)`` uint8 bitset."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(packed_u8).sum(axis=1, dtype=np.int64)
+    return np.unpackbits(packed_u8, axis=1).sum(axis=1, dtype=np.int64)
+
+
+class BallFamily(Sequence):
+    """Immutable per-source node sets, bit-matrix-backed when vectorized.
+
+    Behaves as a sequence of ``frozenset[int]`` — ``family[i]`` is the
+    i-th source's set, materialized lazily and cached — while exposing
+    the array forms the hot paths consume: :meth:`sizes` (popcounts,
+    no materialization) and :meth:`membership_rows` (boolean indicator
+    rows for vectorized subset tests).  The reference engine builds it
+    from plain frozensets; equality compares element sets, so mixed
+    representations compare correctly.
+    """
+
+    __slots__ = ("_n", "_packed", "_sets", "_cache")
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        packed: np.ndarray | None = None,
+        sets: Sequence[frozenset[int]] | None = None,
+    ) -> None:
+        if (packed is None) == (sets is None):
+            raise ValueError("exactly one of packed= or sets= is required")
+        self._n = n
+        self._packed = packed
+        self._sets = tuple(sets) if sets is not None else None
+        self._cache: dict[int, frozenset[int]] = {}
+
+    @classmethod
+    def from_packed(cls, packed: np.ndarray, n: int) -> "BallFamily":
+        return cls(n, packed=packed)
+
+    @classmethod
+    def from_sets(cls, sets: Sequence[frozenset[int]], n: int) -> "BallFamily":
+        return cls(n, sets=sets)
+
+    @property
+    def universe(self) -> int:
+        """Number of nodes the member sets draw from."""
+        return self._n
+
+    def __len__(self) -> int:
+        if self._sets is not None:
+            return len(self._sets)
+        return len(self._packed)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        if self._sets is not None:
+            return self._sets[index]
+        cached = self._cache.get(index)
+        if cached is None:
+            row = np.unpackbits(
+                self._packed[index], bitorder="little", count=self._n
+            )
+            cached = frozenset(np.nonzero(row)[0].tolist())
+            self._cache[index] = cached
+        return cached
+
+    def sizes(self) -> np.ndarray:
+        """Per-source member counts (popcounts; nothing materialized)."""
+        if self._sets is not None:
+            return np.fromiter(
+                (len(s) for s in self._sets), dtype=np.int64, count=len(self._sets)
+            )
+        return _popcounts(self._packed)
+
+    def membership_rows(self, sources: Sequence[int]) -> np.ndarray:
+        """Boolean ``(len(sources), n)`` indicator rows for those sources."""
+        idx = np.asarray(sources, dtype=np.int64)
+        if self._sets is not None:
+            out = np.zeros((len(idx), self._n), dtype=bool)
+            for i, source in enumerate(idx.tolist()):
+                members = self._sets[source]
+                out[i, np.fromiter(members, dtype=np.int64, count=len(members))] = True
+            return out
+        return np.unpackbits(
+            self._packed[idx], axis=1, bitorder="little", count=self._n
+        ).view(bool)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, BallFamily):
+            if self._packed is not None and other._packed is not None:
+                return self._n == other._n and np.array_equal(
+                    self._packed, other._packed
+                )
+        if not isinstance(other, Sequence):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(self[i] == other[i] for i in range(len(self)))
+
+    def __hash__(self):  # pragma: no cover - sets are unhashable anyway
+        raise TypeError("BallFamily is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "packed" if self._packed is not None else "sets"
+        return f"BallFamily({len(self)} sources over {self._n} nodes, {kind})"
+
+
+# ----------------------------------------------------------------------
+# reference engine (the seed BFS implementations, verbatim)
+# ----------------------------------------------------------------------
+def single_source_distances(
+    adj: Sequence[Sequence[int]], source: int, cutoff: float = _UNREACHABLE
+) -> dict[int, int]:
+    """Unweighted single-source distances, optionally truncated at ``cutoff``.
+
+    This *is* the reference BFS (formerly ``analysis.stretch.
+    bfs_distances``); the vector engine's distance rows are asserted
+    equal to it by the property tests.
+    """
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if d >= cutoff:
+            continue
+        for nxt in adj[node]:
+            if nxt not in dist:
+                dist[nxt] = d + 1
+                queue.append(nxt)
+    return dist
+
+
+def bfs_exhausted(dist: dict[int, int], cutoff: float) -> bool:
+    """Whether a truncated BFS provably explored its whole component.
+
+    When no node sits at distance ``cutoff`` the frontier died before
+    the truncation could bite, so any node missing from ``dist`` is
+    genuinely disconnected; otherwise a missing node may merely lie
+    beyond the cutoff.
+    """
+    return cutoff == _UNREACHABLE or all(d < cutoff for d in dist.values())
+
+
+def _reference_balls(
+    adjacency: Sequence[Sequence[int]], radius: int, sources: Sequence[int]
+) -> tuple[list[frozenset[int]], list[int]]:
+    """Frontier-list truncated BFS per source (the seed flood kernel)."""
+    balls: list[frozenset[int]] = []
+    ecc: list[int] = []
+    for source in sources:
+        ball = {source}
+        frontier = [source]
+        reached = 0
+        for r in range(1, radius + 1):
+            layer: list[int] = []
+            for u in frontier:
+                for w in adjacency[u]:
+                    if w not in ball:
+                        ball.add(w)
+                        layer.append(w)
+            if not layer:
+                break
+            reached = r
+            frontier = layer
+        ecc.append(reached)
+        balls.append(frozenset(ball))
+    return balls, ecc
+
+
+# ----------------------------------------------------------------------
+# public batched APIs
+# ----------------------------------------------------------------------
+def balls_and_eccentricities(
+    network,
+    radius: int,
+    *,
+    engine: str | None = None,
+) -> tuple[BallFamily, list[int]]:
+    """Radius-balls and capped eccentricities for *every* node.
+
+    ``balls[v]`` is the radius-ball around ``v`` (itself included);
+    ``ecc[v]`` is the last level at which ``v``'s BFS found anything
+    new, capped at ``radius`` — exactly the flood schedule's two
+    ingredients.  The vector engine keeps the balls packed
+    (:class:`BallFamily`); consumers that only need sizes or membership
+    never pay for Python set materialization.
+    """
+    name = resolve_engine(engine)
+    n = network.n
+    if name == "reference":
+        adjacency = [network.neighbors(v) for v in range(n)]
+        sets, ecc = _reference_balls(adjacency, radius, range(n))
+        return BallFamily.from_sets(sets, n), ecc
+    indptr, indices = adjacency_csr(network)
+    packed_rows: list[np.ndarray] = []
+    ecc_out: list[int] = []
+    block = _block_rows(n, n)
+    for start in range(0, n, block):
+        src = np.arange(start, min(start + block, n), dtype=np.int64)
+        visited, _, block_ecc = _sweep(
+            indptr, indices, src, n, max(0, radius), track_dist=False
+        )
+        # node-major bitset -> per-source packed membership rows
+        unpacked = _unpack_bool(visited, len(src))
+        packed_rows.append(_pack_rows(unpacked.T))
+        ecc_out.extend(int(e) for e in block_ecc)
+    packed = (
+        np.concatenate(packed_rows)
+        if len(packed_rows) > 1
+        else packed_rows[0]
+    )
+    return BallFamily.from_packed(packed, n), ecc_out
+
+
+def distance_blocks(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: Sequence[int],
+    *,
+    cutoff: float = _UNREACHABLE,
+) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+    """Yield ``(offset, dist, exhausted)`` blocks of multi-source distances.
+
+    ``dist`` is ``(rows, n)`` int32 — ``dist[i, w]`` is the distance
+    from ``sources[offset + i]`` to ``w``, ``-1`` when ``w`` was not
+    reached.  ``exhausted[i]`` mirrors :func:`bfs_exhausted`: True when
+    the truncated search provably explored its whole component, i.e.
+    unreached nodes are disconnected rather than beyond the cutoff.
+
+    A node at distance ``d`` expands while ``d < cutoff`` (the reference
+    BFS's rule), so distances up to ``ceil(cutoff)`` are recorded.
+    """
+    n = len(indptr) - 1
+    levels = None if math.isinf(cutoff) else int(math.ceil(cutoff))
+    src = np.asarray(sources, dtype=np.int64)
+    block = _block_rows(n, len(src), track_dist=True)
+    for start in range(0, len(src), block):
+        chunk = src[start : start + block]
+        _, dist, ecc = _sweep(indptr, indices, chunk, n, levels, track_dist=True)
+        assert dist is not None
+        exhausted = (
+            np.ones(len(chunk), dtype=bool)
+            if levels is None
+            else ecc < cutoff
+        )
+        yield start, dist.T, exhausted
+
+
+def ball_matrix_blocks(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: Sequence[int],
+    radius: int,
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(offset, membership)`` blocks of radius-ball indicator rows.
+
+    ``membership[i, w]`` is True iff ``w`` lies within ``radius`` hops
+    of ``sources[offset + i]`` — the boolean form of the ball, for
+    consumers that only test membership (the ``B_t``-coverage check).
+    """
+    n = len(indptr) - 1
+    src = np.asarray(sources, dtype=np.int64)
+    block = _block_rows(n, len(src))
+    for start in range(0, len(src), block):
+        chunk = src[start : start + block]
+        visited, _, _ = _sweep(
+            indptr, indices, chunk, n, max(0, radius), track_dist=False
+        )
+        yield start, _unpack_bool(visited, len(chunk)).T
+
+
+def eccentricities(network, *, engine: str | None = None) -> tuple[list[int], list[int]]:
+    """Uncapped eccentricity and reached-component size for every node.
+
+    Returns ``(ecc, reached)`` lists: ``ecc[v]`` is the greatest
+    distance from ``v`` to any node it can reach, ``reached[v]`` the
+    size of ``v``'s connected component — enough to derive diameters
+    and detect disconnection without a per-node Python BFS.
+    """
+    name = resolve_engine(engine)
+    n = network.n
+    if name == "reference":
+        adjacency = [network.neighbors(v) for v in range(n)]
+        ecc: list[int] = []
+        reached: list[int] = []
+        for v in range(n):
+            dist = single_source_distances(adjacency, v)
+            ecc.append(max(dist.values()))
+            reached.append(len(dist))
+        return ecc, reached
+    indptr, indices = adjacency_csr(network)
+    ecc_out: list[int] = []
+    reached_out: list[int] = []
+    block = _block_rows(n, n)
+    for start in range(0, n, block):
+        src = np.arange(start, min(start + block, n), dtype=np.int64)
+        visited, _, block_ecc = _sweep(indptr, indices, src, n, None, track_dist=False)
+        ecc_out.extend(int(e) for e in block_ecc)
+        counts = _unpack_bool(visited, len(src)).sum(axis=0, dtype=np.int64)
+        reached_out.extend(int(c) for c in counts.tolist())
+    return ecc_out, reached_out

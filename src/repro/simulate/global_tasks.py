@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
-from repro.analysis.stretch import bfs_distances
+from repro.graphs.distance import eccentricities
 from repro.core.params import SamplerParams
 from repro.core.spanner import SpannerResult
 from repro.core.distributed import build_spanner_distributed
@@ -54,16 +54,12 @@ class GlobalComputation:
         return self.spanner.rounds + self.flood_rounds
 
 
-def graph_diameter(network: Network) -> int:
-    """Exact diameter via per-node BFS (inputs here are simulator-scale)."""
-    adj = [network.neighbors(v) for v in network.nodes()]
-    best = 0
-    for v in network.nodes():
-        dist = bfs_distances(adj, v)
-        if len(dist) != network.n:
-            raise ValueError("diameter undefined: graph is disconnected")
-        best = max(best, max(dist.values()))
-    return best
+def graph_diameter(network: Network, *, engine: str | None = None) -> int:
+    """Exact diameter via the distance plane's batched eccentricities."""
+    ecc, reached = eccentricities(network, engine=engine)
+    if any(count != network.n for count in reached):
+        raise ValueError("diameter undefined: graph is disconnected")
+    return max(ecc)
 
 
 def compute_global(

@@ -93,7 +93,7 @@ def run_push_pull(
     network: Network, rounds: int, t: int, seed: int = 0, *, scheduler: str = "active"
 ) -> PushPullReport:
     """Run push–pull for ``rounds`` rounds; measure ``t``-ball coverage."""
-    from repro.analysis.stretch import bfs_distances
+    from repro.graphs.distance import balls_and_eccentricities
 
     report = run_program(
         network,
@@ -103,16 +103,14 @@ def run_push_pull(
         max_rounds=rounds + 1,
         scheduler=scheduler,
     )
-    adj = [network.neighbors(v) for v in network.nodes()]
+    balls, _ = balls_and_eccentricities(network, t)
     delivered = 0
     required = 0
     for node in network.nodes():
-        ball = bfs_distances(adj, node, cutoff=t)
+        ball = balls[node]
         known = report.outputs[node]
-        for member in ball:
-            required += 1
-            if member in known:
-                delivered += 1
+        required += len(ball)
+        delivered += len(ball & known)
     return PushPullReport(
         coverage=delivered / max(1, required),
         messages=report.messages,

@@ -95,6 +95,7 @@ def run_one_stage(
     seed: int = 0,
     engine: str = "fast",
     scheduler: str = "active",
+    distance_engine: str | None = None,
 ) -> SchemeReport:
     """Simulate ``algo`` with the spanner-based scheme, metering both stages.
 
@@ -106,6 +107,8 @@ def run_one_stage(
     engine for every kernel execution in the pipeline — the distributed
     construction stage and, under ``engine="runtime"``, the simulated
     flood; ``"dense"`` is the step-everyone baseline (DESIGN.md §3.6).
+    ``distance_engine`` selects the fast path's distance plane
+    (DESIGN.md §3.7); every combination produces identical reports.
     """
     sampler_params = params if params is not None else theorem3_params(gamma, seed=seed)
     spanner = build_spanner_distributed(network, sampler_params, scheduler=scheduler)
@@ -117,5 +120,6 @@ def run_one_stage(
         seed=seed,
         engine=engine,
         scheduler=scheduler,
+        distance_engine=distance_engine,
     )
     return SchemeReport(outputs=simulation.outputs, spanner=spanner, simulation=simulation)

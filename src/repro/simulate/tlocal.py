@@ -13,11 +13,12 @@ Lemma 12.
 Two engines compute the outcome (DESIGN.md §3.5):
 
 * ``engine="fast"`` (default) derives the :class:`FloodReport` directly
-  from CSR frontier sweeps: the flood is a deterministic function of the
-  spanner and the radius, so collected sets are radius-balls in ``H``
-  and the exact message counts follow from first-learn rounds — node
-  ``v`` forwards on all of its ``deg(v)`` ports in round ``r`` iff some
-  item first reached it in round ``r``, i.e. iff ``r`` is at most ``v``'s
+  from batched CSR frontier sweeps (the distance plane, DESIGN.md
+  §3.7): the flood is a deterministic function of the spanner and the
+  radius, so collected sets are radius-balls in ``H`` and the exact
+  message counts follow from first-learn rounds — node ``v`` forwards
+  on all of its ``deg(v)`` ports in round ``r`` iff some item first
+  reached it in round ``r``, i.e. iff ``r`` is at most ``v``'s
   (radius-capped) eccentricity in ``H``.  No ``Inbound``/``Outbound``
   object is ever allocated.
 * ``engine="runtime"`` runs the literal :class:`_FloodProgram` on the
@@ -25,6 +26,11 @@ Two engines compute the outcome (DESIGN.md §3.5):
   every optimized path's seed behaviour reachable); the test suite
   asserts report equality between the engines across graph families,
   radii, and seeds.
+
+Within the fast engine, ``distance_engine`` further selects the
+distance plane's implementation: ``"vector"`` (NumPy bitset sweeps) or
+``"reference"`` (the pure-Python per-node BFS), both producing equal
+:class:`FloodSchedule` values.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.graphs.distance import BallFamily, balls_and_eccentricities
 from repro.local.message import Inbound
 from repro.local.metrics import MessageStats
 from repro.local.network import Network
@@ -66,15 +73,25 @@ class FloodSchedule:
     eccentricity — the last round in which anything *new* reached ``v``,
     hence the last round in which ``v`` forwards.  ``messages``/``rounds``
     are exactly what the literal runtime meters for the same flood.
+
+    ``balls`` is a :class:`~repro.graphs.distance.BallFamily`: it
+    indexes and iterates as frozensets, but stays bit-packed under the
+    vector distance engine so schedule derivation never materializes
+    millions of Python sets unless a consumer actually asks for them.
     """
 
-    balls: tuple[frozenset[int], ...]
+    balls: Sequence[frozenset[int]]
     ecc: tuple[int, ...]
     messages: MessageStats
     rounds: int
 
     def mean_ball_size(self) -> float:
-        return sum(len(b) for b in self.balls) / max(1, len(self.balls))
+        balls = self.balls
+        if isinstance(balls, BallFamily):
+            total = int(balls.sizes().sum())
+        else:
+            total = sum(len(b) for b in balls)
+        return total / max(1, len(balls))
 
 
 class _FloodProgram(NodeProgram):
@@ -118,11 +135,14 @@ class _FloodProgram(NodeProgram):
         return dict(self._known)
 
 
-def flood_schedule(spanner: Network, radius: int) -> FloodSchedule:
+def flood_schedule(
+    spanner: Network, radius: int, *, engine: str | None = None
+) -> FloodSchedule:
     """Compute the flood's outcome without simulating it.
 
-    One truncated BFS per node over the spanner's cached adjacency
-    yields the collected ball and the capped eccentricity; the exact
+    One batched truncated BFS over the spanner (the distance plane,
+    :func:`repro.graphs.distance.balls_and_eccentricities`) yields
+    every node's collected ball and capped eccentricity; the exact
     per-round message counts follow in one suffix-sum pass:
 
     * round 0 sends one message per port at every node (``2|S|`` total);
@@ -130,32 +150,14 @@ def flood_schedule(spanner: Network, radius: int) -> FloodSchedule:
       ``v`` whose BFS layer ``r`` is non-empty, i.e. ``ecc[v] >= r``;
     * round ``radius`` sends are never delivered and are not metered
       (the runtime discards them the same way).
+
+    ``engine`` selects the distance plane's implementation
+    (``"vector"``/``"reference"``, default the process-wide engine);
+    both produce equal schedules, which the property tests enforce.
     """
     n = spanner.n
-    adjacency = [spanner.neighbors(v) for v in range(n)]
-    degs = [len(a) for a in adjacency]
-    balls: list[frozenset[int]] = []
-    ecc = [0] * n
-    # Frontier-list BFS rather than analysis.stretch.bfs_distances: this
-    # is the flood kernel's inner loop, and skipping the per-node deque
-    # traffic and distance dict measures ~3x faster at bench scale.
-    for source in range(n):
-        ball = {source}
-        frontier = [source]
-        reached = 0
-        for r in range(1, radius + 1):
-            layer: list[int] = []
-            for u in frontier:
-                for w in adjacency[u]:
-                    if w not in ball:
-                        ball.add(w)
-                        layer.append(w)
-            if not layer:
-                break
-            reached = r
-            frontier = layer
-        ecc[source] = reached
-        balls.append(frozenset(ball))
+    balls, ecc = balls_and_eccentricities(spanner, radius, engine=engine)
+    degs = [spanner.degree(v) for v in range(n)]
 
     stats = MessageStats()
     if radius > 0:
@@ -180,7 +182,7 @@ def flood_schedule(spanner: Network, radius: int) -> FloodSchedule:
     else:
         stats.per_round = [0]
     return FloodSchedule(
-        balls=tuple(balls),
+        balls=balls,
         ecc=tuple(ecc),
         messages=stats,
         rounds=max(0, radius),
@@ -195,15 +197,17 @@ def t_local_broadcast(
     seed: int = 0,
     engine: str = "fast",
     scheduler: str = "active",
+    distance_engine: str | None = None,
 ) -> FloodReport:
     """Flood each node's payload ``radius`` hops through ``spanner``.
 
     ``spanner`` is typically ``network.subnetwork(S)``; payloads opaque.
-    ``engine="fast"`` derives the report from CSR sweeps
-    (:func:`flood_schedule`); ``engine="runtime"`` runs the literal
-    node-program simulation — under ``scheduler="active"`` only the
-    flood frontier is stepped, under ``"dense"`` every node every round.
-    All combinations produce equal reports.
+    ``engine="fast"`` derives the report from batched CSR sweeps
+    (:func:`flood_schedule`, honouring ``distance_engine``);
+    ``engine="runtime"`` runs the literal node-program simulation —
+    under ``scheduler="active"`` only the flood frontier is stepped,
+    under ``"dense"`` every node every round.  All combinations produce
+    equal reports.
     """
     if engine not in FLOOD_ENGINES:
         raise ValueError(f"unknown flood engine {engine!r}; expected one of {FLOOD_ENGINES}")
@@ -221,7 +225,7 @@ def t_local_broadcast(
             messages=report.messages,
             rounds=report.rounds,
         )
-    schedule = flood_schedule(spanner, radius)
+    schedule = flood_schedule(spanner, radius, engine=distance_engine)
     payloads = [payload_of(v) for v in range(spanner.n)]
     collected = {
         v: {origin: payloads[origin] for origin in ball}

@@ -42,6 +42,12 @@ from typing import Any, Iterable, Mapping
 
 from repro.algorithms.base import LocalAlgorithm, NodeInit
 from repro.algorithms.runner import node_tape, run_inprocess
+from repro.graphs.distance import (
+    BallFamily,
+    adjacency_csr,
+    ball_matrix_blocks,
+    resolve_engine,
+)
 from repro.local.metrics import MessageStats
 from repro.local.network import Network
 from repro.simulate.tlocal import (
@@ -80,12 +86,15 @@ def simulate_over_spanner(
     radius: int | None = None,
     engine: str = "fast",
     scheduler: str = "active",
+    distance_engine: str | None = None,
 ) -> SimulationOutcome:
     """Run ``algo`` via ``t``-local broadcast over the given spanner.
 
     ``scheduler`` only matters under ``engine="runtime"`` (the fast
     engine never touches the round engine); both settings produce
-    identical outcomes (DESIGN.md §3.6).
+    identical outcomes (DESIGN.md §3.6).  ``distance_engine`` selects
+    the fast path's distance plane (``"vector"``/``"reference"``,
+    DESIGN.md §3.7) — again outcome-identical either way.
     """
     if engine not in FLOOD_ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {FLOOD_ENGINES}")
@@ -113,8 +122,10 @@ def simulate_over_spanner(
             radius=flood_radius,
             mean_reports=mean_reports,
         )
-    schedule = flood_schedule(spanner, flood_radius)
-    outputs = _replay_shared(network, algo, t, seed, schedule)
+    schedule = flood_schedule(spanner, flood_radius, engine=distance_engine)
+    outputs = _replay_shared(
+        network, algo, t, seed, schedule, engine=distance_engine
+    )
     return SimulationOutcome(
         outputs=outputs,
         messages=schedule.messages,
@@ -130,6 +141,8 @@ def _replay_shared(
     t: int,
     seed: int,
     schedule: FloodSchedule,
+    *,
+    engine: str | None = None,
 ) -> dict[int, Any]:
     """One global replay serving every center whose ball is covered.
 
@@ -140,44 +153,67 @@ def _replay_shared(
     Centers left uncovered by the flood (radius below ``alpha * t``, or
     a non-spanner edge set) replay literally on their partial ball, which
     keeps this path output-identical to ``engine="runtime"`` always.
+
+    The coverage verdict ``B_t(center) ⊆ ball(center)`` is computed by
+    the distance plane: a member-only BFS from ``center`` hits a
+    non-member within ``t`` hops iff the full ``B_t`` contains a
+    non-member (walk any shortest path to the offending node — its
+    first non-member lies within ``t`` hops through members), so the
+    vector engine checks ``B_t & ~ball`` over boolean rows while the
+    reference engine keeps the early-exiting member-only Python BFS.
     """
+    engine = resolve_engine(engine)
     n = network.n
     balls = schedule.balls
+    family = (
+        balls
+        if isinstance(balls, BallFamily)
+        else BallFamily.from_sets([frozenset(b) for b in balls], n)
+    )
+    sizes = family.sizes()
+    # A ball that already holds all n nodes covers any B_t trivially.
+    candidates = [center for center in range(n) if sizes[center] != n]
     uncovered: list[int] = []
-    neighbors: list[tuple[int, ...]] | None = None
-    for center in range(n):
-        members = balls[center]
-        if len(members) == n:
-            continue  # the collected ball covers any B_t trivially
-        if neighbors is None:
-            neighbors = [network.neighbors(v) for v in range(n)]
-        # Exact B_t(center) in G, truncated BFS over cached adjacency.
-        seen = {center}
-        frontier = [center]
-        ok = True
-        for _ in range(t):
-            if not ok or not frontier:
-                break
-            layer: list[int] = []
-            for u in frontier:
-                for w in neighbors[u]:
-                    if w not in seen:
-                        if w not in members:
-                            ok = False
-                            break
-                        seen.add(w)
-                        layer.append(w)
-                if not ok:
+    if candidates and engine == "reference":
+        neighbors = [network.neighbors(v) for v in range(n)]
+        for center in candidates:
+            members = family[center]
+            # Exact B_t(center) in G, truncated BFS over cached adjacency.
+            seen = {center}
+            frontier = [center]
+            ok = True
+            for _ in range(t):
+                if not ok or not frontier:
                     break
-            frontier = layer
-        if not ok:
-            uncovered.append(center)
+                layer: list[int] = []
+                for u in frontier:
+                    for w in neighbors[u]:
+                        if w not in seen:
+                            if w not in members:
+                                ok = False
+                                break
+                            seen.add(w)
+                            layer.append(w)
+                    if not ok:
+                        break
+                frontier = layer
+            if not ok:
+                uncovered.append(center)
+    elif candidates:
+        indptr, indices = adjacency_csr(network)
+        for offset, b_t in ball_matrix_blocks(indptr, indices, candidates, t):
+            chunk = candidates[offset : offset + b_t.shape[0]]
+            members = family.membership_rows(chunk)
+            bad = (b_t & ~members).any(axis=1)
+            uncovered.extend(
+                center for center, is_bad in zip(chunk, bad.tolist()) if is_bad
+            )
 
     # The global replay serves the covered centers; skip it when the
     # flood covered nobody (every output would be overwritten below).
     outputs = {} if len(uncovered) == n else run_inprocess(network, algo, seed)
     for center in uncovered:
-        reports = {x: network.incident(x) for x in balls[center]}
+        reports = {x: network.incident(x) for x in family[center]}
         outputs[center] = replay_ball(algo, center, reports, t, seed, n)
     return outputs
 

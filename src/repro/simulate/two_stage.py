@@ -90,6 +90,7 @@ def run_two_stage(
     seed: int = 0,
     engine: str = "fast",
     scheduler: str = "active",
+    distance_engine: str | None = None,
 ) -> TwoStageReport:
     """Run the full two-stage pipeline, metering every stage.
 
@@ -99,6 +100,8 @@ def run_two_stage(
     ``scheduler`` selects the round engine for every kernel execution
     (stage-1 construction and, under ``engine="runtime"``, both
     simulated floods); ``"dense"`` is the baseline (DESIGN.md §3.6).
+    ``distance_engine`` selects the fast path's distance plane
+    (DESIGN.md §3.7); every combination produces identical reports.
     """
     stage1 = build_spanner_distributed(network, stage1_params, scheduler=scheduler)
 
@@ -111,6 +114,7 @@ def run_two_stage(
         seed=seed,
         engine=engine,
         scheduler=scheduler,
+        distance_engine=distance_engine,
     )
     stage2_edges: set[int] = set()
     for added in stage2_sim.outputs.values():
@@ -124,6 +128,7 @@ def run_two_stage(
         seed=seed,
         engine=engine,
         scheduler=scheduler,
+        distance_engine=distance_engine,
     )
     return TwoStageReport(
         outputs=payload_sim.outputs,

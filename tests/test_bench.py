@@ -118,6 +118,11 @@ class TestPerfHarness:
             with pytest.raises(SystemExit):
                 main(["--perf", "--repeats", bad])
 
+    def test_nonpositive_jobs_rejected(self):
+        for bad in ("0", "-2"):
+            with pytest.raises(SystemExit):
+                main(["--perf", "--jobs", bad])
+
     def test_filtered_run_times_subset(self):
         from repro.bench.perf import run_perf_suite
 
@@ -125,5 +130,36 @@ class TestPerfHarness:
             filter_patterns=["spanner/torus/16x16"], repeats=1
         )
         assert list(doc["kernels"]) == ["spanner/torus/16x16"]
-        assert doc["kernels"]["spanner/torus/16x16"]["repeats"] == 1
-        assert set(doc["environment"]) == {"python", "platform", "machine"}
+        entry = doc["kernels"]["spanner/torus/16x16"]
+        assert entry["repeats"] == 1
+        # min/median both recorded; dependency versions in the metadata
+        # make cross-machine comparisons interpretable
+        assert entry["median_seconds"] >= entry["seconds"]
+        assert set(doc["environment"]) == {
+            "python",
+            "platform",
+            "machine",
+            "numpy",
+            "networkx",
+        }
+
+    def test_parallel_run_produces_same_kernel_set(self):
+        from repro.bench.perf import run_perf_suite
+
+        patterns = ["spanner/torus/*", "flood/torus/*"]
+        serial = run_perf_suite(filter_patterns=patterns, repeats=1)
+        parallel = run_perf_suite(filter_patterns=patterns, repeats=1, jobs=2)
+        assert list(serial["kernels"]) == list(parallel["kernels"])
+        for name, entry in serial["kernels"].items():
+            twin = parallel["kernels"][name]
+            assert (entry["n"], entry["m"]) == (twin["n"], twin["m"])
+
+    def test_spread_warning(self):
+        from repro.bench.perf import _progress_line, _spread
+
+        assert _spread([1.0, 1.0, 1.0]) == 0
+        assert _spread([1.0, 1.3]) == pytest.approx(0.3)
+        noisy = {"seconds": 1.0, "n": 5, "m": 5, "spread": 0.3}
+        assert "warning" in _progress_line("k", noisy)
+        quiet = {"seconds": 1.0, "n": 5, "m": 5}
+        assert "warning" not in _progress_line("k", quiet)

@@ -95,6 +95,18 @@ class TestEngineEquivalence:
         with pytest.raises(ValueError):
             simulate_over_spanner(net, net.edge_ids, 1, BallCollect(1), engine="warp")
 
+    @pytest.mark.parametrize("family,make", FAMILIES, ids=[f[0] for f in FAMILIES])
+    def test_distance_engines_agree_through_broadcast(self, family, make):
+        """The fast engine's two distance planes (vector / reference)
+        produce the same FloodReport through t_local_broadcast."""
+        net = make(4)
+        sub, _ = _spanner_sub(net, 4)
+        vector = t_local_broadcast(sub, lambda v: (v, "p"), 3, distance_engine="vector")
+        reference = t_local_broadcast(
+            sub, lambda v: (v, "p"), 3, distance_engine="reference"
+        )
+        assert vector == reference
+
 
 class TestFloodSchedule:
     def test_balls_are_radius_balls(self):
