@@ -283,6 +283,18 @@ class BallFamily(Sequence):
             )
         return _popcounts(self._packed)
 
+    def packed_rows(self) -> np.ndarray:
+        """The whole family as a ``(rows, ceil(n/8))`` uint8 bitset.
+
+        Row ``i`` holds source ``i``'s member set little-endian
+        bit-packed — the canonical serialized form the artifact store
+        writes to ``.npz`` (DESIGN.md §3.8).  Packed-backed families
+        return their backing matrix; set-backed families pack on demand.
+        """
+        if self._packed is not None:
+            return self._packed
+        return _pack_rows(self.membership_rows(range(len(self))))
+
     def membership_rows(self, sources: Sequence[int]) -> np.ndarray:
         """Boolean ``(len(sources), n)`` indicator rows for those sources."""
         idx = np.asarray(sources, dtype=np.int64)

@@ -54,6 +54,7 @@ class Network:
         "_incident",
         "_neighbors",
         "_adjacency",
+        "_fingerprint",
     )
 
     def __init__(
@@ -131,6 +132,7 @@ class Network:
         self._incident = None
         self._neighbors = None
         self._adjacency = None
+        self._fingerprint = None
 
     @classmethod
     def _trusted(
@@ -247,6 +249,38 @@ class Network:
             return 0 <= eid < len(self._eids)
         return eid in self._eid_row
 
+    def fingerprint(self) -> str:
+        """A stable content hash of the graph (cached).
+
+        SHA-256 over the node count, the knowledge model, and the
+        row-ordered ``(eid, u, v)`` CSR endpoint arrays serialized as
+        little-endian int64 — i.e. a pure function of the *content* the
+        simulator semantics depend on.  The hash is invariant to lazy
+        view materialization (``EdgeRef`` construction, cached
+        neighbor/adjacency tuples) and to the edge iteration order a
+        constructor received, because rows are canonically sorted by
+        edge id before assembly.  Two networks share a fingerprint iff
+        they have the same ``n``, the same knowledge tag, and the exact
+        same ``eid -> (u, v)`` mapping — the key property the artifact
+        store relies on (DESIGN.md §3.8).
+        """
+        cached = self._fingerprint
+        if cached is None:
+            import hashlib
+
+            import numpy as np
+
+            digest = hashlib.sha256()
+            digest.update(b"repro.network.v1\x00")
+            digest.update(self._n.to_bytes(8, "little"))
+            digest.update(self._knowledge.value.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(np.asarray(self._eids, dtype="<i8").tobytes())
+            digest.update(np.frombuffer(self._ep_u, dtype=np.int64).astype("<i8").tobytes())
+            digest.update(np.frombuffer(self._ep_v, dtype=np.int64).astype("<i8").tobytes())
+            cached = self._fingerprint = digest.hexdigest()
+        return cached
+
     def incident(self, node: int) -> tuple[int, ...]:
         """Sorted edge ids incident to ``node``."""
         incident = self._incident
@@ -348,6 +382,9 @@ class Network:
         clone._incident = self._incident
         clone._neighbors = self._neighbors
         clone._adjacency = self._adjacency
+        # The knowledge tag participates in the fingerprint, so the
+        # clone re-derives its own hash instead of sharing the parent's.
+        clone._fingerprint = None
         return clone
 
     def to_networkx(self) -> nx.Graph:
@@ -398,6 +435,24 @@ class Network:
         built = tuple(out)
         self._neighbors = built
         return built
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality by content fingerprint.
+
+        Two networks are equal iff they agree on ``n``, the knowledge
+        model, and the exact ``eid -> (u, v)`` mapping — the same
+        relation :meth:`fingerprint` hashes, so results loaded from the
+        artifact store compare equal to results built live on a
+        content-identical graph (names stay cosmetic).
+        """
+        if self is other:
+            return True
+        if not isinstance(other, Network):
+            return NotImplemented
+        return self.fingerprint() == other.fingerprint()
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Network(n={self._n}, m={self.m}, knowledge={self._knowledge.value})"

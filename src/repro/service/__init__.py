@@ -1,0 +1,20 @@
+"""Amortized simulation serving over the artifact store.
+
+See :mod:`repro.service.service` for the request/response types and
+:class:`SimulationService`; the underlying cache lives in
+:mod:`repro.store`.
+"""
+
+from repro.service.service import (
+    ServiceMetrics,
+    SimulationRequest,
+    SimulationResponse,
+    SimulationService,
+)
+
+__all__ = [
+    "ServiceMetrics",
+    "SimulationRequest",
+    "SimulationResponse",
+    "SimulationService",
+]

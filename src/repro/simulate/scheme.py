@@ -96,6 +96,7 @@ def run_one_stage(
     engine: str = "fast",
     scheduler: str = "active",
     distance_engine: str | None = None,
+    store=None,
 ) -> SchemeReport:
     """Simulate ``algo`` with the spanner-based scheme, metering both stages.
 
@@ -109,9 +110,22 @@ def run_one_stage(
     flood; ``"dense"`` is the step-everyone baseline (DESIGN.md §3.6).
     ``distance_engine`` selects the fast path's distance plane
     (DESIGN.md §3.7); every combination produces identical reports.
+
+    ``store`` (an :class:`~repro.store.ArtifactStore`, or ``None`` for
+    the ``REPRO_STORE``-driven process default) reuses the
+    payload-independent artifacts — the constructed spanner and, under
+    the fast engine, the flood schedule — across calls that share a
+    graph and parameters; reports are bit-identical with the store on,
+    off, cold, or warm (DESIGN.md §3.8).
     """
     sampler_params = params if params is not None else theorem3_params(gamma, seed=seed)
-    spanner = build_spanner_distributed(network, sampler_params, scheduler=scheduler)
+    from repro.store.store import resolve_store  # lazy: store sits above simulate
+
+    active_store = resolve_store(store)
+    if active_store is not None:
+        spanner = active_store.spanner(network, sampler_params, scheduler=scheduler)
+    else:
+        spanner = build_spanner_distributed(network, sampler_params, scheduler=scheduler)
     simulation = simulate_over_spanner(
         network,
         spanner.edges,
@@ -121,5 +135,6 @@ def run_one_stage(
         engine=engine,
         scheduler=scheduler,
         distance_engine=distance_engine,
+        store=active_store,
     )
     return SchemeReport(outputs=simulation.outputs, spanner=spanner, simulation=simulation)

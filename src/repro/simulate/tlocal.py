@@ -46,7 +46,13 @@ from repro.local.network import Network
 from repro.local.node import Context, NodeProgram
 from repro.local.runtime import run_program
 
-__all__ = ["FloodReport", "FloodSchedule", "flood_schedule", "t_local_broadcast"]
+__all__ = [
+    "FloodReport",
+    "FloodSchedule",
+    "flood_schedule",
+    "flood_stats",
+    "t_local_broadcast",
+]
 
 FLOOD_ENGINES = ("fast", "runtime")
 
@@ -158,7 +164,24 @@ def flood_schedule(
     n = spanner.n
     balls, ecc = balls_and_eccentricities(spanner, radius, engine=engine)
     degs = [spanner.degree(v) for v in range(n)]
+    return FloodSchedule(
+        balls=balls,
+        ecc=tuple(ecc),
+        messages=flood_stats(ecc, degs, radius),
+        rounds=max(0, radius),
+    )
 
+
+def flood_stats(ecc: Sequence[int], degs: Sequence[int], radius: int) -> MessageStats:
+    """Exact flood message counters from capped eccentricities + degrees.
+
+    The suffix-sum derivation documented on :func:`flood_schedule`,
+    factored out so artifacts that cache per-node distances (the store's
+    ``FloodProfile``) re-derive stats for any truncated radius through
+    the *same* code path — equality with a fresh schedule is structural,
+    not coincidental.
+    """
+    n = len(degs)
     stats = MessageStats()
     if radius > 0:
         per_round = [0] * (radius + 1)
@@ -181,12 +204,7 @@ def flood_schedule(
             stats.by_tag = Counter({"flood": total})
     else:
         stats.per_round = [0]
-    return FloodSchedule(
-        balls=balls,
-        ecc=tuple(ecc),
-        messages=stats,
-        rounds=max(0, radius),
-    )
+    return stats
 
 
 def t_local_broadcast(
@@ -198,6 +216,8 @@ def t_local_broadcast(
     engine: str = "fast",
     scheduler: str = "active",
     distance_engine: str | None = None,
+    faults=None,
+    store=None,
 ) -> FloodReport:
     """Flood each node's payload ``radius`` hops through ``spanner``.
 
@@ -208,6 +228,15 @@ def t_local_broadcast(
     under ``scheduler="active"`` only the flood frontier is stepped,
     under ``"dense"`` every node every round.  All combinations produce
     equal reports.
+
+    ``faults`` (a :class:`~repro.local.faults.FaultPlan`) injects
+    message drops and requires ``engine="runtime"`` — the fast engine is
+    an analytic derivation of the failure-free flood, so a non-noop plan
+    under it raises.  ``store`` (an
+    :class:`~repro.store.ArtifactStore`, or ``None`` for the
+    ``REPRO_STORE``-driven process default) lets the fast engine reuse a
+    cached :class:`FloodSchedule` for this spanner; omitted or off, the
+    schedule is derived from scratch exactly as before (DESIGN.md §3.8).
     """
     if engine not in FLOOD_ENGINES:
         raise ValueError(f"unknown flood engine {engine!r}; expected one of {FLOOD_ENGINES}")
@@ -218,6 +247,7 @@ def t_local_broadcast(
             seed=seed,
             fixed_rounds=radius,
             max_rounds=radius + 1,
+            faults=faults,
             scheduler=scheduler,
         )
         return FloodReport(
@@ -225,7 +255,18 @@ def t_local_broadcast(
             messages=report.messages,
             rounds=report.rounds,
         )
-    schedule = flood_schedule(spanner, radius, engine=distance_engine)
+    if faults is not None and not faults.is_noop:
+        raise ValueError(
+            "fault plans require engine='runtime': the fast engine derives "
+            "the failure-free flood analytically"
+        )
+    from repro.store.store import resolve_store  # lazy: store sits above simulate
+
+    active_store = resolve_store(store)
+    if active_store is not None:
+        schedule = active_store.flood_schedule(spanner, radius, engine=distance_engine)
+    else:
+        schedule = flood_schedule(spanner, radius, engine=distance_engine)
     payloads = [payload_of(v) for v in range(spanner.n)]
     collected = {
         v: {origin: payloads[origin] for origin in ball}

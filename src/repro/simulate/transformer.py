@@ -87,6 +87,9 @@ def simulate_over_spanner(
     engine: str = "fast",
     scheduler: str = "active",
     distance_engine: str | None = None,
+    schedule: FloodSchedule | None = None,
+    faults=None,
+    store=None,
 ) -> SimulationOutcome:
     """Run ``algo`` via ``t``-local broadcast over the given spanner.
 
@@ -95,20 +98,29 @@ def simulate_over_spanner(
     identical outcomes (DESIGN.md §3.6).  ``distance_engine`` selects
     the fast path's distance plane (``"vector"``/``"reference"``,
     DESIGN.md §3.7) — again outcome-identical either way.
+
+    ``schedule`` lets a caller that already holds this spanner's
+    :class:`FloodSchedule` at exactly the flood radius (the simulation
+    service, a batch driver) skip the re-derivation; omitted, behaviour
+    is unchanged.  ``store`` (or the ``REPRO_STORE`` process default)
+    caches the derivation instead (DESIGN.md §3.8); an explicit
+    ``schedule`` wins over both.  ``faults`` injects message drops and
+    requires ``engine="runtime"`` (the fast engine is the analytic
+    failure-free derivation).
     """
     if engine not in FLOOD_ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {FLOOD_ENGINES}")
     t = algo.rounds(network.n)
     flood_radius = radius if radius is not None else alpha * t
-    spanner = network.subnetwork(spanner_edges)
     if engine == "runtime":
         flood: FloodReport = t_local_broadcast(
-            spanner,
+            network.subnetwork(spanner_edges),
             payload_of=lambda node: tuple(network.incident(node)),
             radius=flood_radius,
             seed=seed,
             engine="runtime",
             scheduler=scheduler,
+            faults=faults,
         )
         outputs = {
             node: replay_ball(algo, node, flood.collected[node], t, seed, network.n)
@@ -122,7 +134,29 @@ def simulate_over_spanner(
             radius=flood_radius,
             mean_reports=mean_reports,
         )
-    schedule = flood_schedule(spanner, flood_radius, engine=distance_engine)
+    if faults is not None and not faults.is_noop:
+        raise ValueError(
+            "fault plans require engine='runtime': the fast engine derives "
+            "the failure-free flood analytically"
+        )
+    if schedule is None:
+        # The spanner subnetwork exists only to derive the schedule, so
+        # a caller who supplies one saves the whole construction.
+        spanner = network.subnetwork(spanner_edges)
+        from repro.store.store import resolve_store  # lazy: store sits above simulate
+
+        active_store = resolve_store(store)
+        if active_store is not None:
+            schedule = active_store.flood_schedule(
+                spanner, flood_radius, engine=distance_engine
+            )
+        else:
+            schedule = flood_schedule(spanner, flood_radius, engine=distance_engine)
+    elif schedule.rounds != max(0, flood_radius):
+        raise ValueError(
+            f"precomputed schedule covers radius {schedule.rounds}, "
+            f"this simulation floods radius {flood_radius}"
+        )
     outputs = _replay_shared(
         network, algo, t, seed, schedule, engine=distance_engine
     )

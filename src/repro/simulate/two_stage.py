@@ -91,6 +91,7 @@ def run_two_stage(
     engine: str = "fast",
     scheduler: str = "active",
     distance_engine: str | None = None,
+    store=None,
 ) -> TwoStageReport:
     """Run the full two-stage pipeline, metering every stage.
 
@@ -102,8 +103,22 @@ def run_two_stage(
     simulated floods); ``"dense"`` is the baseline (DESIGN.md §3.6).
     ``distance_engine`` selects the fast path's distance plane
     (DESIGN.md §3.7); every combination produces identical reports.
+
+    ``store`` (or the ``REPRO_STORE`` process default) caches the
+    payload-independent artifacts of *all three* stages: the ``H1``
+    construction, the flood schedule over ``H1`` that simulates the
+    stage-2 algorithm, and — because flood artifacts are keyed by the
+    spanner's own fingerprint — the payload flood over ``H2`` as well,
+    since the assembled ``H2`` is deterministic per (graph, seed).
+    Reports are bit-identical with the store on or off (DESIGN.md §3.8).
     """
-    stage1 = build_spanner_distributed(network, stage1_params, scheduler=scheduler)
+    from repro.store.store import resolve_store  # lazy: store sits above simulate
+
+    active_store = resolve_store(store)
+    if active_store is not None:
+        stage1 = active_store.spanner(network, stage1_params, scheduler=scheduler)
+    else:
+        stage1 = build_spanner_distributed(network, stage1_params, scheduler=scheduler)
 
     stage2_algo = BaswanaSenLocal(k=stage2_k, coin_seed=seed)
     stage2_sim = simulate_over_spanner(
@@ -115,6 +130,7 @@ def run_two_stage(
         engine=engine,
         scheduler=scheduler,
         distance_engine=distance_engine,
+        store=active_store,
     )
     stage2_edges: set[int] = set()
     for added in stage2_sim.outputs.values():
@@ -129,6 +145,7 @@ def run_two_stage(
         engine=engine,
         scheduler=scheduler,
         distance_engine=distance_engine,
+        store=active_store,
     )
     return TwoStageReport(
         outputs=payload_sim.outputs,

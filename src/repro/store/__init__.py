@@ -1,0 +1,55 @@
+"""Content-addressed artifact store for payload-independent work.
+
+The paper's central economics: the message-expensive preprocessing (the
+``Sampler`` spanner of Theorem 2, the Lemma 12 flood schedule) does not
+depend on the payload algorithm, so once built it can serve *any*
+number of ``t``-round simulations.  This package makes that operational
+(DESIGN.md §3.8):
+
+* :mod:`repro.store.keys` — the content-addressed key schema
+  (``Network.fingerprint()`` + artifact parameters + schema version);
+* :mod:`repro.store.serialize` — exact ``.npz``/JSON codecs for
+  :class:`~repro.core.spanner.SpannerResult` and
+  :class:`~repro.simulate.tlocal.FloodSchedule`, plus
+  :class:`FloodProfile`, the truncatable cached form of a flood;
+* :mod:`repro.store.store` — :class:`ArtifactStore` (in-memory LRU +
+  optional on-disk layer with atomic writes and corruption-tolerant
+  reads) and the ``REPRO_STORE``-driven process default.
+
+The serving layer on top lives in :mod:`repro.service`.
+"""
+
+from repro.store.keys import STORE_SCHEMA, flood_key, spanner_key, store_key
+from repro.store.serialize import (
+    ArtifactError,
+    FloodProfile,
+    load_flood_schedule,
+    load_spanner,
+    save_flood_schedule,
+    save_spanner,
+)
+from repro.store.store import (
+    ArtifactStore,
+    FetchInfo,
+    StoreStats,
+    default_store,
+    resolve_store,
+)
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactStore",
+    "FetchInfo",
+    "FloodProfile",
+    "STORE_SCHEMA",
+    "StoreStats",
+    "default_store",
+    "flood_key",
+    "load_flood_schedule",
+    "load_spanner",
+    "resolve_store",
+    "save_flood_schedule",
+    "save_spanner",
+    "spanner_key",
+    "store_key",
+]

@@ -1,0 +1,507 @@
+"""Artifact codecs: ``.npz`` + JSON-manifest forms of the cached objects.
+
+Layout conventions (DESIGN.md §3.8):
+
+* every artifact file is a single ``.npz`` whose arrays carry the bulky
+  numeric payload (bit-packed ball rows, distance matrices, per-round
+  counters) and whose ``manifest`` entry is one JSON string carrying
+  the structured remainder (params, trace, counters, fingerprints);
+* loaders validate the embedded ``schema``/``kind`` and, where a
+  ``Network`` is required to rebind the artifact, its fingerprint —
+  a mismatch raises :class:`ArtifactError`, which the store treats as
+  a cache miss (corruption can degrade service, never crash it);
+* round-trips are exact: ``load(save(x)) == x`` under each artifact's
+  dataclass equality, including cross-representation
+  :class:`~repro.graphs.distance.BallFamily` comparisons and the full
+  :class:`~repro.core.trace.SamplerTrace` (tests/test_store.py).
+
+The module also owns :class:`FloodProfile`, the *extendable* form of a
+flood schedule: instead of one schedule per radius it persists the
+radius-capped distance matrix of the spanner, from which the exact
+:class:`~repro.simulate.tlocal.FloodSchedule` of **any** smaller radius
+is re-derived by truncation — balls are ``dist <= r`` rows, capped
+eccentricities are row maxima, and the message counters come from the
+same suffix-sum code path the live derivation uses
+(:func:`~repro.simulate.tlocal.flood_stats`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import numpy as np
+
+from repro.core.params import SamplerParams
+from repro.core.spanner import SpannerResult
+from repro.core.trace import (
+    FinishedCluster,
+    LevelTrace,
+    NodeLevelTrace,
+    SamplerTrace,
+)
+from repro.core.trials import NodeLabel, TrialStats
+from repro.graphs.distance import (
+    BallFamily,
+    adjacency_csr,
+    distance_blocks,
+    resolve_engine,
+    single_source_distances,
+)
+from repro.local.metrics import MessageStats
+from repro.local.network import Network
+from repro.simulate.tlocal import FloodSchedule, flood_stats
+from repro.store.keys import STORE_SCHEMA
+
+__all__ = [
+    "ArtifactError",
+    "FloodProfile",
+    "load_flood_schedule",
+    "load_spanner",
+    "save_flood_schedule",
+    "save_spanner",
+]
+
+
+class ArtifactError(ValueError):
+    """A serialized artifact is unreadable or does not match its key."""
+
+
+# ----------------------------------------------------------------------
+# low-level npz helpers
+# ----------------------------------------------------------------------
+def _write_npz(path, manifest: dict, **arrays: np.ndarray) -> None:
+    payload = json.dumps(manifest, sort_keys=True)
+    with open(path, "wb") as handle:
+        np.savez_compressed(
+            handle, manifest=np.asarray(payload), **arrays
+        )
+
+
+def _read_npz(path) -> tuple[dict, dict]:
+    """``(manifest, arrays)`` of one artifact file; raises ArtifactError."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+    except Exception as exc:  # zip/OS/format damage of any shape
+        raise ArtifactError(f"unreadable artifact {path}: {exc}") from exc
+    try:
+        manifest = json.loads(str(arrays.pop("manifest")[()]))
+    except (KeyError, ValueError) as exc:
+        raise ArtifactError(f"artifact {path} has no valid manifest") from exc
+    if manifest.get("schema") != STORE_SCHEMA:
+        raise ArtifactError(
+            f"artifact {path} has schema {manifest.get('schema')!r}, "
+            f"store speaks {STORE_SCHEMA}"
+        )
+    return manifest, arrays
+
+
+def _expect_kind(manifest: dict, kind: str, path) -> None:
+    if manifest.get("kind") != kind:
+        raise ArtifactError(
+            f"artifact {path} is a {manifest.get('kind')!r}, expected {kind!r}"
+        )
+
+
+def _int_list(values) -> list[int]:
+    return [int(v) for v in values]
+
+
+# ----------------------------------------------------------------------
+# MessageStats
+# ----------------------------------------------------------------------
+def _encode_stats(stats: MessageStats | None) -> dict | None:
+    if stats is None:
+        return None
+    return {
+        "total": stats.total,
+        "dropped": stats.dropped,
+        "by_tag": dict(stats.by_tag),
+        "per_round": list(stats.per_round),
+        "stage_offsets": list(stats.stage_offsets),
+    }
+
+
+def _decode_stats(doc: dict | None) -> MessageStats | None:
+    if doc is None:
+        return None
+    return MessageStats(
+        total=int(doc["total"]),
+        dropped=int(doc["dropped"]),
+        by_tag=Counter({str(tag): int(c) for tag, c in doc["by_tag"].items()}),
+        per_round=_int_list(doc["per_round"]),
+        stage_offsets=_int_list(doc["stage_offsets"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# SamplerTrace (exact round-trip: dataclass equality with the original)
+# ----------------------------------------------------------------------
+def _encode_trace(trace: SamplerTrace) -> dict:
+    def node(entry: NodeLevelTrace) -> dict:
+        doc = entry._asdict()
+        doc["label"] = entry.label.value
+        doc["f_active"] = [list(p) for p in entry.f_active]
+        doc["f_inactive"] = [list(p) for p in entry.f_inactive]
+        doc["trial_stats"] = [
+            {
+                "trial_index": t.trial_index,
+                "pool_before": t.pool_before,
+                "draws": t.draws,
+                "queried_eids": list(t.queried_eids),
+                "new_neighbors": t.new_neighbors,
+                "peeled_edges": t.peeled_edges,
+            }
+            for t in entry.trial_stats
+        ]
+        return doc
+
+    return {
+        "n": trace.n,
+        "m": trace.m,
+        "levels": [
+            {
+                "level": lvl.level,
+                "population": lvl.population,
+                "active_edges": lvl.active_edges,
+                "stale_edges": lvl.stale_edges,
+                "cluster_sizes": {str(c): s for c, s in lvl.cluster_sizes.items()},
+                "cluster_heights": {str(c): h for c, h in lvl.cluster_heights.items()},
+                "nodes": {str(vid): node(entry) for vid, entry in lvl.nodes.items()},
+                "centers": list(lvl.centers),
+                "joins": [list(j) for j in lvl.joins],
+                "unclustered": list(lvl.unclustered),
+                "f_edges": sorted(lvl.f_edges),
+            }
+            for lvl in trace.levels
+        ],
+        "finished": {
+            str(cid): {
+                "cid": fin.cid,
+                "level": fin.level,
+                "label": fin.label.value,
+                "live_edges": sorted(fin.live_edges),
+            }
+            for cid, fin in trace.finished.items()
+        },
+    }
+
+
+def _decode_trace(doc: dict, params: SamplerParams) -> SamplerTrace:
+    def node(entry: dict) -> NodeLevelTrace:
+        return NodeLevelTrace(
+            vid=int(entry["vid"]),
+            label=NodeLabel(entry["label"]),
+            trials=int(entry["trials"]),
+            draws=int(entry["draws"]),
+            queries_sent=int(entry["queries_sent"]),
+            neighbors_found=int(entry["neighbors_found"]),
+            inactive_found=int(entry["inactive_found"]),
+            pool_initial=int(entry["pool_initial"]),
+            pool_final=int(entry["pool_final"]),
+            degree=int(entry["degree"]),
+            target=int(entry["target"]),
+            query_budget=int(entry["query_budget"]),
+            f_active=tuple((int(c), int(e)) for c, e in entry["f_active"]),
+            f_inactive=tuple((int(c), int(e)) for c, e in entry["f_inactive"]),
+            trial_stats=tuple(
+                TrialStats(
+                    trial_index=int(t["trial_index"]),
+                    pool_before=int(t["pool_before"]),
+                    draws=int(t["draws"]),
+                    queried_eids=tuple(_int_list(t["queried_eids"])),
+                    new_neighbors=int(t["new_neighbors"]),
+                    peeled_edges=int(t["peeled_edges"]),
+                )
+                for t in entry["trial_stats"]
+            ),
+        )
+
+    levels = [
+        LevelTrace(
+            level=int(lvl["level"]),
+            population=int(lvl["population"]),
+            active_edges=int(lvl["active_edges"]),
+            stale_edges=int(lvl["stale_edges"]),
+            cluster_sizes={int(c): int(s) for c, s in lvl["cluster_sizes"].items()},
+            cluster_heights={int(c): int(h) for c, h in lvl["cluster_heights"].items()},
+            nodes={int(vid): node(entry) for vid, entry in lvl["nodes"].items()},
+            centers=tuple(_int_list(lvl["centers"])),
+            joins=tuple((int(a), int(b), int(e)) for a, b, e in lvl["joins"]),
+            unclustered=tuple(_int_list(lvl["unclustered"])),
+            f_edges=frozenset(_int_list(lvl["f_edges"])),
+        )
+        for lvl in doc["levels"]
+    ]
+    finished = {
+        int(cid): FinishedCluster(
+            cid=int(fin["cid"]),
+            level=int(fin["level"]),
+            label=NodeLabel(fin["label"]),
+            live_edges=frozenset(_int_list(fin["live_edges"])),
+        )
+        for cid, fin in doc["finished"].items()
+    }
+    return SamplerTrace(
+        n=int(doc["n"]), m=int(doc["m"]), params=params, levels=levels, finished=finished
+    )
+
+
+# ----------------------------------------------------------------------
+# SpannerResult
+# ----------------------------------------------------------------------
+def save_spanner(path, result: SpannerResult) -> None:
+    """Persist a :class:`SpannerResult` (everything but the network)."""
+    from dataclasses import asdict
+
+    manifest = {
+        "schema": STORE_SCHEMA,
+        "kind": "spanner",
+        "graph": result.network.fingerprint(),
+        "params": asdict(result.params),
+        "rounds": result.rounds,
+        "messages": _encode_stats(result.messages),
+        "trace": _encode_trace(result.trace),
+    }
+    _write_npz(path, manifest, edges=np.asarray(sorted(result.edges), dtype=np.int64))
+
+
+def load_spanner(path, network: Network) -> SpannerResult:
+    """Rebind a persisted spanner to ``network`` (fingerprint-checked)."""
+    manifest, arrays = _read_npz(path)
+    _expect_kind(manifest, "spanner", path)
+    saved_for = manifest.get("graph")
+    if saved_for != network.fingerprint():
+        raise ArtifactError(
+            f"artifact {path} was built for a different graph "
+            f"({str(saved_for)[:12]}… != {network.fingerprint()[:12]}…)"
+        )
+    try:
+        params = SamplerParams(**manifest["params"])
+        edges = frozenset(_int_list(arrays["edges"]))
+        trace = _decode_trace(manifest["trace"], params)
+        messages = _decode_stats(manifest["messages"])
+        rounds = manifest["rounds"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"artifact {path} is structurally damaged: {exc}") from exc
+    return SpannerResult(
+        network=network,
+        params=params,
+        edges=edges,
+        trace=trace,
+        messages=messages,
+        rounds=None if rounds is None else int(rounds),
+    )
+
+
+# ----------------------------------------------------------------------
+# FloodSchedule (bit-packed standalone form)
+# ----------------------------------------------------------------------
+def save_flood_schedule(path, schedule: FloodSchedule, *, n: int | None = None) -> None:
+    """Persist one :class:`FloodSchedule` with bit-packed ball rows.
+
+    ``n`` (the node universe) defaults to the ball count, which is
+    correct for every schedule the flood engine produces (one ball per
+    node); pass it explicitly for hand-built families over a larger
+    universe.
+    """
+    balls = schedule.balls
+    universe = n
+    if universe is None:
+        universe = balls.universe if isinstance(balls, BallFamily) else len(balls)
+    family = (
+        balls
+        if isinstance(balls, BallFamily)
+        else BallFamily.from_sets([frozenset(b) for b in balls], universe)
+    )
+    manifest = {
+        "schema": STORE_SCHEMA,
+        "kind": "flood_schedule",
+        "n": universe,
+        "rounds": schedule.rounds,
+        "messages": _encode_stats(schedule.messages),
+    }
+    _write_npz(
+        path,
+        manifest,
+        packed=family.packed_rows(),
+        ecc=np.asarray(schedule.ecc, dtype=np.int64),
+    )
+
+
+def load_flood_schedule(path) -> FloodSchedule:
+    manifest, arrays = _read_npz(path)
+    _expect_kind(manifest, "flood_schedule", path)
+    try:
+        balls = BallFamily.from_packed(
+            np.ascontiguousarray(arrays["packed"], dtype=np.uint8),
+            int(manifest["n"]),
+        )
+        schedule = FloodSchedule(
+            balls=balls,
+            ecc=tuple(_int_list(arrays["ecc"])),
+            messages=_decode_stats(manifest["messages"]),
+            rounds=int(manifest["rounds"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"artifact {path} is structurally damaged: {exc}") from exc
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# FloodProfile — the extendable cached form of a flood schedule
+# ----------------------------------------------------------------------
+_UNREACHED = -1
+
+
+class FloodProfile:
+    """Radius-capped distances of one spanner, truncatable to schedules.
+
+    ``dist[v, w]`` is the hop distance from ``v`` to ``w`` when it is at
+    most :attr:`radius`, else ``-1`` — exactly the information a flood
+    of any radius ``r' <= radius`` depends on.  :meth:`schedule`
+    re-derives the precise :class:`FloodSchedule` for such an ``r'``:
+    the balls are the ``0 <= dist <= r'`` rows (bit-packed, no Python
+    sets), the capped eccentricities their row maxima, and the message
+    counters come from :func:`~repro.simulate.tlocal.flood_stats` — the
+    very code path the live derivation uses, so equality with
+    ``flood_schedule(spanner, r')`` is structural.
+    """
+
+    __slots__ = ("fingerprint", "radius", "engine", "_dist", "_degs", "_schedules")
+
+    def __init__(
+        self,
+        fingerprint: str,
+        radius: int,
+        engine: str,
+        dist: np.ndarray,
+        degs: np.ndarray,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.radius = radius
+        self.engine = engine
+        self._dist = dist
+        self._degs = degs
+        # Truncated schedules memoized per requested radius.  Schedules
+        # are immutable by the simulator's result conventions, so one
+        # object safely serves every request at that radius; distinct
+        # radii per profile are few (one per payload round budget).
+        self._schedules: dict[int, FloodSchedule] = {}
+
+    @property
+    def n(self) -> int:
+        return len(self._degs)
+
+    def nbytes(self) -> int:
+        """Array footprint; the store's LRU weighs profile entries by
+        this against its byte budget (``MEMORY_BYTE_BUDGET``)."""
+        return int(self._dist.nbytes + self._degs.nbytes)
+
+    @classmethod
+    def build(cls, spanner: Network, radius: int, *, engine: str | None = None) -> "FloodProfile":
+        """Measure the spanner's truncated distances once, up front.
+
+        ``engine`` follows the distance plane's convention
+        (``"vector"``/``"reference"``, default the process-wide engine);
+        both produce identical profiles, so the engine only selects the
+        measurement implementation — it is recorded for the store key.
+        """
+        name = resolve_engine(engine)
+        n = spanner.n
+        radius = max(0, radius)
+        dtype = np.int16 if radius < 2**15 - 1 else np.int32
+        dist = np.full((n, n), _UNREACHED, dtype=dtype)
+        if name == "reference":
+            adjacency = [spanner.neighbors(v) for v in range(n)]
+            for v in range(n):
+                for w, d in single_source_distances(adjacency, v, cutoff=radius).items():
+                    dist[v, w] = d
+        else:
+            indptr, indices = adjacency_csr(spanner)
+            for offset, block, _ in distance_blocks(
+                indptr, indices, range(n), cutoff=radius
+            ):
+                dist[offset : offset + block.shape[0]] = block
+        degs = np.asarray([spanner.degree(v) for v in range(n)], dtype=np.int64)
+        return cls(spanner.fingerprint(), radius, name, dist, degs)
+
+    def schedule(self, radius: int) -> FloodSchedule:
+        """The exact :class:`FloodSchedule` for any ``radius <= self.radius``."""
+        radius = max(0, radius)
+        if radius > self.radius:
+            raise ValueError(
+                f"profile holds radius {self.radius}, cannot serve {radius}"
+            )
+        cached = self._schedules.get(radius)
+        if cached is not None:
+            return cached
+        member = (self._dist >= 0) & (self._dist <= radius)
+        balls = BallFamily.from_packed(
+            np.packbits(member, axis=1, bitorder="little"), self.n
+        )
+        # Row maxima over members: every row holds dist[v, v] == 0, so
+        # the masked maximum is exactly the radius-capped eccentricity.
+        ecc = np.where(member, self._dist, 0).max(axis=1, initial=0)
+        ecc_list = [int(e) for e in ecc]
+        degs = [int(d) for d in self._degs]
+        built = FloodSchedule(
+            balls=balls,
+            ecc=tuple(ecc_list),
+            messages=flood_stats(ecc_list, degs, radius),
+            rounds=radius,
+        )
+        self._schedules[radius] = built
+        return built
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FloodProfile):
+            return NotImplemented
+        return (
+            self.fingerprint == other.fingerprint
+            and self.radius == other.radius
+            and self.engine == other.engine
+            and np.array_equal(self._dist, other._dist)
+            and np.array_equal(self._degs, other._degs)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FloodProfile(n={self.n}, radius={self.radius}, "
+            f"engine={self.engine!r}, graph={self.fingerprint[:12]}…)"
+        )
+
+    def to_npz(self, path) -> None:
+        manifest = {
+            "schema": STORE_SCHEMA,
+            "kind": "flood_profile",
+            "graph": self.fingerprint,
+            "radius": self.radius,
+            "engine": self.engine,
+        }
+        _write_npz(path, manifest, dist=self._dist, degs=self._degs)
+
+    @classmethod
+    def from_npz(cls, path) -> "FloodProfile":
+        manifest, arrays = _read_npz(path)
+        _expect_kind(manifest, "flood_profile", path)
+        try:
+            dist = arrays["dist"]
+            degs = np.ascontiguousarray(arrays["degs"], dtype=np.int64)
+            if (
+                dist.ndim != 2
+                or dist.shape[0] != dist.shape[1]
+                or dist.shape[0] != len(degs)
+            ):
+                raise ValueError(f"distance matrix shape {dist.shape} inconsistent")
+            profile = cls(
+                str(manifest["graph"]),
+                int(manifest["radius"]),
+                str(manifest["engine"]),
+                dist,
+                degs,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(f"artifact {path} is structurally damaged: {exc}") from exc
+        return profile

@@ -1,0 +1,408 @@
+"""The content-addressed artifact store (DESIGN.md §3.8).
+
+:class:`ArtifactStore` memoizes the message-expensive, payload-
+independent artifacts of the paper's two-stage scheme — the distributed
+``Sampler`` construction (:class:`~repro.core.spanner.SpannerResult`)
+and the Lemma 12 flood schedule in its extendable
+:class:`~repro.store.serialize.FloodProfile` form — keyed by
+:meth:`Network.fingerprint` plus the parameters that determine each
+artifact (:mod:`repro.store.keys`).  Two layers:
+
+* an in-memory LRU (``capacity`` entries) shared by every consumer in
+  the process;
+* an optional on-disk directory, enabled by constructing with a path or
+  process-wide via the ``REPRO_STORE`` environment variable
+  (:func:`default_store`).  Writes are atomic (temp file +
+  ``os.replace``) so a crashed writer never leaves a half entry;
+  reads are corruption-tolerant — any unreadable, schema-mismatched or
+  wrong-graph entry counts as a miss and is rebuilt, never raised.
+
+Every get-or-build method has a ``fetch_*`` twin returning the artifact
+plus a :class:`FetchInfo` provenance record; the simulation service
+turns those into hit/miss/amortization metrics.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import NamedTuple
+
+from repro.core.params import SamplerParams
+from repro.core.spanner import SpannerResult
+from repro.graphs.distance import resolve_engine
+from repro.local.network import Network
+from repro.simulate.tlocal import FloodSchedule
+from repro.store import serialize
+from repro.store.keys import flood_key, spanner_key
+from repro.store.serialize import ArtifactError, FloodProfile
+
+__all__ = [
+    "ArtifactStore",
+    "FetchInfo",
+    "StoreStats",
+    "default_store",
+    "resolve_store",
+]
+
+# A flood profile's distance matrix has n^2 cells; beyond this budget
+# the store derives schedules directly instead of caching the profile
+# (an int16 matrix at the limit is ~128 MB — fine once, not per entry).
+PROFILE_CELL_LIMIT = 1 << 26
+# Total weighed bytes the in-memory LRU may pin (flood profiles report
+# their array footprint via FloodProfile.nbytes(); other artifacts are
+# Python object graphs the store cannot meaningfully weigh and count as
+# zero, so the entry-count capacity bounds those).
+MEMORY_BYTE_BUDGET = 1 << 28
+
+ENV_VAR = "REPRO_STORE"
+
+
+class FetchInfo(NamedTuple):
+    """Where an artifact came from, for hit/miss accounting."""
+
+    source: str  # "memory" | "disk" | "built" | "bypass"
+    truncated: bool = False  # schedule served from a larger-radius profile
+    extended: bool = False  # profile rebuilt because the radius grew
+
+    @property
+    def hit(self) -> bool:
+        return self.source in ("memory", "disk")
+
+
+@dataclass
+class StoreStats:
+    """Cumulative counters over one store's lifetime."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    puts: int = 0
+    bypasses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def snapshot(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "puts": self.puts,
+            "bypasses": self.bypasses,
+        }
+
+
+@dataclass
+class _Lru:
+    """Insertion-ordered dict LRU over ``(value, weight)`` entries.
+
+    Evicts past either bound: entry count (``capacity``) or total
+    weighed bytes (``byte_budget``) — flood profiles carry real array
+    footprints, so counting entries alone would let a sweep over many
+    large spanners pin gigabytes.
+    """
+
+    capacity: int
+    byte_budget: int = MEMORY_BYTE_BUDGET
+    entries: dict = field(default_factory=dict)
+    weighed_bytes: int = 0
+
+    def get(self, key: str):
+        entry = self.entries.pop(key, None)
+        if entry is None:
+            return None
+        self.entries[key] = entry  # re-insert as most recent
+        return entry[0]
+
+    def put(self, key: str, value, weight: int = 0) -> int:
+        """Insert; returns how many entries were evicted."""
+        stale = self.entries.pop(key, None)
+        if stale is not None:
+            self.weighed_bytes -= stale[1]
+        self.entries[key] = (value, weight)
+        self.weighed_bytes += weight
+        evicted = 0
+        # Keep at least the just-inserted entry: anything the cell
+        # limit admitted is worth holding even over the byte budget.
+        while len(self.entries) > 1 and (
+            len(self.entries) > self.capacity
+            or self.weighed_bytes > self.byte_budget
+        ):
+            oldest = next(iter(self.entries))
+            _, dropped = self.entries.pop(oldest)
+            self.weighed_bytes -= dropped
+            evicted += 1
+        return evicted
+
+
+class ArtifactStore:
+    """Memoizes payload-independent simulation artifacts.
+
+    Artifacts handed out by the store are shared objects — the
+    simulator's result types are immutable by convention (frozen
+    dataclasses over frozensets/tuples/arrays no consumer writes to),
+    so one cached :class:`SpannerResult` safely serves any number of
+    concurrent payload simulations.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        *,
+        capacity: int = 64,
+        byte_budget: int = MEMORY_BYTE_BUDGET,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._dir = Path(path) if path is not None else None
+        self._lru = _Lru(capacity, byte_budget)
+        self._diameters: dict[str, int] = {}
+        self.stats = StoreStats()
+
+    @property
+    def directory(self) -> Path | None:
+        """The on-disk layer's directory (``None`` = memory-only)."""
+        return self._dir
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._lru.entries.clear()
+        self._lru.weighed_bytes = 0
+        self._diameters.clear()
+
+    # ------------------------------------------------------------------
+    # spanners
+    # ------------------------------------------------------------------
+    def fetch_spanner(
+        self,
+        network: Network,
+        params: SamplerParams,
+        *,
+        scheduler: str = "active",
+    ) -> tuple[SpannerResult, FetchInfo]:
+        """Get-or-build the distributed ``Sampler`` construction.
+
+        ``scheduler`` is forwarded to the builder on a miss but is not
+        part of the key: active and dense produce identical
+        ``RunReport``s (the DESIGN.md §3.6 equivalence contract), so a
+        hit under either scheduler is exact.
+        """
+        key = spanner_key(network.fingerprint(), params)
+        cached = self._lru.get(key)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            return cached, FetchInfo("memory")
+        loaded = self._load(key, self._checked_spanner, network, params)
+        if loaded is not None:
+            self.stats.disk_hits += 1
+            self._remember(key, loaded)
+            return loaded, FetchInfo("disk")
+        from repro.core.distributed import build_spanner_distributed
+
+        self.stats.misses += 1
+        built = build_spanner_distributed(network, params, scheduler=scheduler)
+        self._remember(key, built)
+        self._persist(key, serialize.save_spanner, built)
+        return built, FetchInfo("built")
+
+    def spanner(
+        self,
+        network: Network,
+        params: SamplerParams,
+        *,
+        scheduler: str = "active",
+    ) -> SpannerResult:
+        return self.fetch_spanner(network, params, scheduler=scheduler)[0]
+
+    # ------------------------------------------------------------------
+    # flood schedules
+    # ------------------------------------------------------------------
+    def fetch_flood_schedule(
+        self,
+        spanner: Network,
+        radius: int,
+        *,
+        engine: str | None = None,
+    ) -> tuple[FloodSchedule, FetchInfo]:
+        """Get-or-build the Lemma 12 flood schedule for ``spanner``.
+
+        One :class:`FloodProfile` entry per (spanner, engine) holds the
+        largest radius requested so far: a smaller radius is served by
+        truncation, a larger one rebuilds (extends) the profile.
+        Profiles whose ``n^2`` exceeds :data:`PROFILE_CELL_LIMIT` are
+        never cached — the schedule is derived directly (a "bypass"),
+        bounding the store's memory at large ``n``.
+        """
+        from repro.simulate.tlocal import flood_schedule as derive
+
+        radius = max(0, radius)
+        name = resolve_engine(engine)
+        if spanner.n * spanner.n > PROFILE_CELL_LIMIT:
+            self.stats.bypasses += 1
+            return derive(spanner, radius, engine=name), FetchInfo("bypass")
+        fingerprint = spanner.fingerprint()
+        key = flood_key(fingerprint, name)
+        profile = self._lru.get(key)
+        source = "memory"
+        if profile is None:
+            profile = self._load(key, self._checked_profile, fingerprint, name)
+            source = "disk"
+            if profile is not None:
+                self._remember(key, profile)
+        if profile is not None and profile.radius >= radius:
+            if source == "memory":
+                self.stats.memory_hits += 1
+            else:
+                self.stats.disk_hits += 1
+            return (
+                profile.schedule(radius),
+                FetchInfo(source, truncated=radius < profile.radius),
+            )
+        extended = profile is not None  # cached, but radius outgrew it
+        self.stats.misses += 1
+        profile = FloodProfile.build(spanner, radius, engine=name)
+        self._remember(key, profile)
+        self._persist(key, lambda path, p: p.to_npz(path), profile)
+        return profile.schedule(radius), FetchInfo("built", extended=extended)
+
+    def flood_schedule(
+        self,
+        spanner: Network,
+        radius: int,
+        *,
+        engine: str | None = None,
+    ) -> FloodSchedule:
+        return self.fetch_flood_schedule(spanner, radius, engine=engine)[0]
+
+    @staticmethod
+    def _checked_spanner(path, network: Network, params: SamplerParams) -> SpannerResult:
+        """Load a spanner artifact and verify it matches its key.
+
+        ``load_spanner`` itself pins the graph fingerprint; the store
+        additionally pins the construction parameters, so an artifact
+        file moved under another key's path (same graph, different
+        params) degrades to a counted miss instead of serving a spanner
+        built under the wrong configuration.
+        """
+        result = serialize.load_spanner(path, network)
+        if result.params != params:
+            raise ArtifactError(
+                f"artifact {path} was built with {result.params}, "
+                f"expected {params}"
+            )
+        return result
+
+    @staticmethod
+    def _checked_profile(path, fingerprint: str, engine: str) -> FloodProfile:
+        """Load a profile and verify it matches the requesting spanner.
+
+        A file copied or renamed under another key's path must degrade
+        to a counted miss, exactly like the spanner loader's
+        fingerprint check — never serve another graph's distances.
+        """
+        profile = FloodProfile.from_npz(path)
+        if profile.fingerprint != fingerprint or profile.engine != engine:
+            raise ArtifactError(
+                f"artifact {path} holds a profile for graph "
+                f"{profile.fingerprint[:12]}…/{profile.engine}, expected "
+                f"{fingerprint[:12]}…/{engine}"
+            )
+        return profile
+
+    # ------------------------------------------------------------------
+    # small payload-independent memos (in-memory only)
+    # ------------------------------------------------------------------
+    def graph_diameter(self, network: Network, *, engine: str | None = None) -> int:
+        """Memoized exact diameter (see ``simulate.global_tasks``)."""
+        key = network.fingerprint()
+        cached = self._diameters.get(key)
+        if cached is None:
+            from repro.simulate.global_tasks import graph_diameter
+
+            cached = self._diameters[key] = graph_diameter(network, engine=engine)
+        return cached
+
+    # ------------------------------------------------------------------
+    # layers
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, value) -> None:
+        weight = value.nbytes() if isinstance(value, FloodProfile) else 0
+        self.stats.evictions += self._lru.put(key, value, weight)
+
+    def _entry_path(self, key: str) -> Path:
+        return self._dir / f"{key}.npz"
+
+    def _load(self, key: str, loader, *args):
+        """Disk lookup; any damage is a miss, never an exception."""
+        if self._dir is None:
+            return None
+        path = self._entry_path(key)
+        if not path.exists():
+            return None
+        try:
+            return loader(path, *args)
+        except ArtifactError:
+            self.stats.corrupt += 1
+            return None
+
+    def _persist(self, key: str, saver, artifact) -> None:
+        """Atomic write-through; I/O failure degrades to memory-only."""
+        if self._dir is None:
+            return
+        path = self._entry_path(key)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            saver(tmp, artifact)
+            os.replace(tmp, path)
+            self.stats.puts += 1
+        except OSError:
+            # A full or read-only disk must not take the service down.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# the process-default store (REPRO_STORE)
+# ----------------------------------------------------------------------
+_default: ArtifactStore | None = None
+_default_source: str | None = None
+
+
+def default_store() -> ArtifactStore | None:
+    """The ``REPRO_STORE``-driven process default, or ``None``.
+
+    Setting ``REPRO_STORE=/some/dir`` makes every store-aware consumer
+    (``run_one_stage``, ``run_two_stage``, ``t_local_broadcast``,
+    ``simulate_over_spanner``, ``compute_global``) cache through one
+    shared disk-backed store without touching call sites — the lever
+    the store-enabled CI job and ``repro.bench --store`` pull.  With
+    the variable unset (the default), consumers that were not handed an
+    explicit store run exactly the historical derivation paths.
+    """
+    global _default, _default_source
+    configured = os.environ.get(ENV_VAR)
+    if not configured:
+        _default = None
+        _default_source = None
+        return None
+    if _default is None or _default_source != configured:
+        _default = ArtifactStore(configured)
+        _default_source = configured
+    return _default
+
+
+def resolve_store(store: ArtifactStore | None) -> ArtifactStore | None:
+    """An explicit store wins; ``None`` falls back to the env default."""
+    if store is not None:
+        return store
+    return default_store()

@@ -1,0 +1,247 @@
+"""The amortized simulation service: bit-identical serving + accounting.
+
+The load-bearing claim (ISSUE/DESIGN.md §3.8): a served response equals
+a fresh ``run_one_stage`` with the same inputs — cold, warm, truncated,
+disk-backed, either engine — and the metrics make the amortization
+visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    BallCollect,
+    BfsLayers,
+    LubyMis,
+    MinIdAggregation,
+    RandomMatching,
+    RandomizedColoring,
+)
+from repro.core import SamplerParams
+from repro.graphs import erdos_renyi, torus
+from repro.local.faults import FaultPlan
+from repro.service import SimulationRequest, SimulationService
+from repro.simulate import run_one_stage, run_two_stage, simulate_over_spanner
+from repro.simulate.global_tasks import compute_global, elect_leader
+from repro.simulate.tlocal import flood_schedule
+from repro.store import ArtifactStore
+
+PARAMS = SamplerParams(k=1, h=2, seed=13)
+
+
+@pytest.fixture
+def net():
+    return erdos_renyi(60, 0.12, seed=8)
+
+
+def payload_suite():
+    return [
+        BfsLayers(0, 2),
+        RandomizedColoring(2),
+        LubyMis(1),
+        RandomMatching(1),
+        MinIdAggregation(3),
+    ]
+
+
+class TestServedEqualsRunOneStage:
+    def test_cold_then_warm_are_bit_identical(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        fresh = run_one_stage(net, BallCollect(2), params=PARAMS, seed=5)
+        cold = service.submit(BallCollect(2))
+        warm = service.submit(BallCollect(2))
+        assert cold.report == fresh
+        assert warm.report == fresh
+        assert cold.cold and not warm.cold
+        assert warm.construction_messages_paid == 0
+
+    def test_every_payload_family_served_exactly(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        for algo_served, algo_fresh in zip(payload_suite(), payload_suite()):
+            response = service.submit(algo_served)
+            fresh = run_one_stage(net, algo_fresh, params=PARAMS, seed=5)
+            assert response.report == fresh
+
+    def test_runtime_engine_served_exactly(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        request = SimulationRequest(algo=BallCollect(2), engine="runtime")
+        response = service.submit(request)
+        fresh = run_one_stage(net, BallCollect(2), params=PARAMS, seed=5, engine="runtime")
+        assert response.report == fresh
+        assert response.schedule_info is None  # no schedule cache involved
+
+    def test_reference_distance_engine_served_exactly(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        request = SimulationRequest(algo=BallCollect(2), distance_engine="reference")
+        response = service.submit(request)
+        fresh = run_one_stage(net, BallCollect(2), params=PARAMS, seed=5)
+        assert response.outputs == fresh.outputs
+        assert response.simulation.messages == fresh.simulation.messages
+
+    def test_disk_store_shared_across_services(self, net, tmp_path):
+        first = SimulationService(net, store=ArtifactStore(tmp_path), params=PARAMS, seed=5)
+        cold = first.submit(BallCollect(2))
+        second = SimulationService(net, store=ArtifactStore(tmp_path), params=PARAMS, seed=5)
+        warm = second.submit(BallCollect(2))
+        assert warm.spanner_info.source == "disk"
+        assert warm.report == cold.report
+
+
+class TestRequestValidation:
+    def test_declared_t_must_match_the_algorithm(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        ok = SimulationRequest(algo=BallCollect(2), t=2)
+        assert service.submit(ok).report.outputs  # accepted
+        with pytest.raises(ValueError, match="declares t=3"):
+            service.submit(SimulationRequest(algo=BallCollect(2), t=3))
+
+    def test_faults_require_the_runtime_engine(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        plan = FaultPlan(drop_probability=0.2, seed=4)
+        with pytest.raises(ValueError, match="runtime"):
+            service.submit(SimulationRequest(algo=BallCollect(2), faults=plan))
+
+    def test_faulty_runtime_serve_matches_direct_call(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        plan = FaultPlan(drop_probability=0.2, seed=4)
+        response = service.submit(
+            SimulationRequest(algo=BallCollect(1), engine="runtime", faults=plan)
+        )
+        spanner = response.spanner
+        direct = simulate_over_spanner(
+            net,
+            spanner.edges,
+            alpha=spanner.stretch_bound,
+            algo=BallCollect(1),
+            seed=5,
+            engine="runtime",
+            faults=plan,
+        )
+        assert response.simulation == direct
+        assert direct.messages.dropped > 0  # the plan actually bit
+
+    def test_no_network_anywhere_is_refused(self):
+        service = SimulationService(params=PARAMS, seed=5)
+        with pytest.raises(ValueError, match="no network"):
+            service.submit(BallCollect(1))
+
+
+class TestBatchServing:
+    def test_batch_equals_sequential_submits(self, net):
+        batch_service = SimulationService(net, params=PARAMS, seed=5)
+        responses = batch_service.serve(payload_suite())
+        sequential = SimulationService(net, params=PARAMS, seed=5)
+        for response, algo in zip(responses, payload_suite()):
+            assert response.report == sequential.submit(algo).report
+
+    def test_identical_requests_share_one_replay(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        shared = BallCollect(2)
+        responses = service.serve([shared, shared, BallCollect(2)])
+        assert responses[0] is responses[1]  # same instance: shared replay
+        assert responses[2] is not responses[0]  # new instance: replayed
+        assert responses[2].report == responses[0].report
+        assert service.metrics.requests == 3  # accounting counts traffic
+
+    def test_deduplicated_cold_response_is_not_double_paid(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        shared = BallCollect(2)
+        cold_batch = service.serve([shared, shared])
+        assert cold_batch[0] is cold_batch[1]
+        metrics = service.metrics
+        # construction was sent once; the dedup repeat is cache traffic
+        assert metrics.cold_serves == 1 and metrics.spanner_builds == 1
+        fresh = run_one_stage(net, BallCollect(2), params=PARAMS, seed=5)
+        assert metrics.construction_messages_paid == fresh.construction_messages
+        assert metrics.simulation_messages == fresh.simulation_messages
+        assert metrics.spanner_hits == 1 and metrics.schedule_hits == 1
+
+    def test_metrics_accumulate_the_amortization(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        service.serve(payload_suite())
+        service.serve(payload_suite())
+        metrics = service.metrics
+        assert metrics.requests == 10
+        assert metrics.cold_serves == 1
+        assert metrics.spanner_builds == 1
+        assert metrics.spanner_hits == 9
+        assert metrics.schedule_hits + metrics.schedule_builds == 10
+        fresh = run_one_stage(net, payload_suite()[0], params=PARAMS, seed=5)
+        assert metrics.construction_messages_paid == fresh.construction_messages
+        # amortized cost strictly between marginal and cold total
+        marginal = metrics.simulation_messages / metrics.requests
+        assert marginal < metrics.amortized_messages() < metrics.total_messages
+        assert "amortized" in metrics.summary()
+
+    def test_second_batch_is_all_warm(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        service.serve(payload_suite())
+        warm = service.serve(payload_suite())
+        assert all(not response.cold for response in warm)
+        assert all(
+            response.schedule_info is not None and response.schedule_info.hit
+            for response in warm
+        )
+
+
+class TestStoreAwareConsumers:
+    def test_two_stage_with_store_is_bit_identical(self):
+        net = erdos_renyi(50, 0.15, seed=9)
+        store = ArtifactStore()
+        plain = run_two_stage(net, BallCollect(1), stage1_params=PARAMS, seed=3)
+        cold = run_two_stage(net, BallCollect(1), stage1_params=PARAMS, seed=3, store=store)
+        warm = run_two_stage(net, BallCollect(1), stage1_params=PARAMS, seed=3, store=store)
+        assert plain == cold == warm
+        # stage-1 spanner, H1 flood, H2 flood all cached on the warm run
+        assert store.stats.hits >= 3
+
+    def test_global_tasks_with_store_are_bit_identical(self):
+        net = torus(5, 5)
+        store = ArtifactStore()
+        plain = elect_leader(net, seed=2)
+        cold = elect_leader(net, seed=2, store=store)
+        warm = elect_leader(net, seed=2, store=store)
+        assert plain == cold == warm
+        plain_sum = compute_global(net, lambda known: sum(known.values()), seed=2)
+        warm_sum = compute_global(
+            net, lambda known: sum(known.values()), seed=2, store=store
+        )
+        assert plain_sum.outputs == warm_sum.outputs
+        assert plain_sum.flood_messages == warm_sum.flood_messages
+
+    def test_precomputed_schedule_short_circuits(self, net):
+        spanner = run_one_stage(net, BallCollect(2), params=PARAMS, seed=5).spanner
+        sub = net.subnetwork(spanner.edges)
+        radius = spanner.stretch_bound * 2
+        schedule = flood_schedule(sub, radius)
+        with_schedule = simulate_over_spanner(
+            net,
+            spanner.edges,
+            alpha=spanner.stretch_bound,
+            algo=BallCollect(2),
+            seed=5,
+            schedule=schedule,
+        )
+        without = simulate_over_spanner(
+            net,
+            spanner.edges,
+            alpha=spanner.stretch_bound,
+            algo=BallCollect(2),
+            seed=5,
+        )
+        assert with_schedule == without
+
+    def test_mismatched_precomputed_schedule_is_refused(self, net):
+        spanner = run_one_stage(net, BallCollect(2), params=PARAMS, seed=5).spanner
+        sub = net.subnetwork(spanner.edges)
+        wrong = flood_schedule(sub, 1)
+        with pytest.raises(ValueError, match="covers radius 1"):
+            simulate_over_spanner(
+                net,
+                spanner.edges,
+                alpha=spanner.stretch_bound,
+                algo=BallCollect(2),
+                seed=5,
+                schedule=wrong,
+            )

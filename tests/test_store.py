@@ -1,0 +1,352 @@
+"""The artifact store: keys, serialization round-trips, cache layers.
+
+Covers the DESIGN.md §3.8 contracts: content-addressed keys, exact
+``.npz`` round-trips (hypothesis-quantified across gnp/torus/ba),
+``FloodProfile`` truncation equality with the live derivation, LRU and
+disk behaviour, atomic writes, corruption tolerance, and the
+``REPRO_STORE`` process default.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import SamplerParams
+from repro.core.distributed import build_spanner_distributed
+from repro.core.spanner import SpannerResult
+from repro.graphs import barabasi_albert, erdos_renyi, torus
+from repro.graphs.distance import BallFamily
+from repro.local.network import Network
+from repro.simulate import flood_schedule, run_one_stage
+from repro.simulate.tlocal import FloodSchedule
+from repro.algorithms import BallCollect
+from repro.store import (
+    ArtifactError,
+    ArtifactStore,
+    FloodProfile,
+    default_store,
+    flood_key,
+    load_flood_schedule,
+    resolve_store,
+    save_flood_schedule,
+    spanner_key,
+)
+from repro.store.store import PROFILE_CELL_LIMIT
+
+_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_FAMILIES = {
+    "gnp": lambda seed: erdos_renyi(36, 0.16, seed=seed),
+    "torus": lambda seed: torus(5, 6),
+    "ba": lambda seed: barabasi_albert(34, 3, seed=seed),
+}
+
+
+@st.composite
+def family_network(draw) -> Network:
+    family = draw(st.sampled_from(sorted(_FAMILIES)))
+    seed = draw(st.integers(min_value=0, max_value=50))
+    return _FAMILIES[family](seed)
+
+
+class TestKeys:
+    def test_keys_are_pure_functions(self):
+        net = erdos_renyi(20, 0.2, seed=1)
+        params = SamplerParams(k=1, h=2, seed=3)
+        assert spanner_key(net.fingerprint(), params) == spanner_key(
+            net.fingerprint(), params
+        )
+
+    def test_any_param_field_changes_the_key(self):
+        fp = erdos_renyi(20, 0.2, seed=1).fingerprint()
+        base = SamplerParams(k=1, h=2, seed=3)
+        variants = [
+            SamplerParams(k=2, h=2, seed=3),
+            SamplerParams(k=1, h=3, seed=3),
+            SamplerParams(k=1, h=2, seed=4),
+            SamplerParams(k=1, h=2, seed=3, c_query=0.5),
+            SamplerParams(k=1, h=2, seed=3, exhaustive_small_pools=False),
+        ]
+        keys = {spanner_key(fp, p) for p in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_flood_key_separates_engines_and_graphs(self):
+        a = erdos_renyi(20, 0.2, seed=1).fingerprint()
+        b = erdos_renyi(20, 0.2, seed=2).fingerprint()
+        assert flood_key(a, "vector") != flood_key(a, "reference")
+        assert flood_key(a, "vector") != flood_key(b, "vector")
+
+
+class TestSpannerRoundTrip:
+    @_SETTINGS
+    @given(net=family_network(), seed=st.integers(min_value=0, max_value=40))
+    def test_round_trip_is_exact(self, tmp_path_factory, net, seed):
+        path = tmp_path_factory.mktemp("store") / "spanner.npz"
+        result = build_spanner_distributed(net, SamplerParams(k=1, h=1, seed=seed))
+        result.to_npz(path)
+        loaded = SpannerResult.from_npz(path, net)
+        assert loaded == result  # edges, params, trace, messages, rounds
+        assert loaded.trace.signature() == result.trace.signature()
+
+    def test_rebinding_to_a_different_graph_is_refused(self, tmp_path):
+        net = erdos_renyi(24, 0.2, seed=2)
+        other = erdos_renyi(24, 0.2, seed=3)
+        result = build_spanner_distributed(net, SamplerParams(k=1, h=1, seed=1))
+        path = tmp_path / "spanner.npz"
+        result.to_npz(path)
+        with pytest.raises(ArtifactError, match="different graph"):
+            SpannerResult.from_npz(path, other)
+
+    def test_garbage_file_raises_artifact_error(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(ArtifactError):
+            SpannerResult.from_npz(path, erdos_renyi(10, 0.3, seed=1))
+
+
+class TestFloodScheduleRoundTrip:
+    @_SETTINGS
+    @given(
+        net=family_network(),
+        radius=st.integers(min_value=0, max_value=6),
+        engine=st.sampled_from(["vector", "reference"]),
+    )
+    def test_round_trip_preserves_everything(
+        self, tmp_path_factory, net, radius, engine
+    ):
+        path = tmp_path_factory.mktemp("store") / "schedule.npz"
+        schedule = flood_schedule(net, radius, engine=engine)
+        save_flood_schedule(path, schedule)
+        loaded = load_flood_schedule(path)
+        assert isinstance(loaded.balls, BallFamily)
+        assert loaded == schedule and schedule == loaded  # both directions
+        assert np.array_equal(
+            loaded.balls.packed_rows(), schedule.balls.packed_rows()
+        )
+        assert np.array_equal(loaded.balls.sizes(), schedule.balls.sizes())
+        assert loaded.messages == schedule.messages
+
+    def test_cross_engine_equality_survives_the_disk(self, tmp_path):
+        net = torus(5, 5)
+        vector = flood_schedule(net, 3, engine="vector")
+        reference = flood_schedule(net, 3, engine="reference")
+        path = tmp_path / "ref.npz"
+        save_flood_schedule(path, reference)
+        assert load_flood_schedule(path) == vector
+
+
+class TestFloodProfile:
+    @_SETTINGS
+    @given(
+        net=family_network(),
+        radius=st.integers(min_value=0, max_value=8),
+        keep=st.floats(min_value=0.3, max_value=1.0),
+        engine=st.sampled_from(["vector", "reference"]),
+    )
+    def test_truncation_equals_live_derivation(self, net, radius, keep, engine):
+        # A random (possibly disconnected) subnetwork stands in for a
+        # spanner: the profile must serve every smaller radius exactly.
+        eids = [e for i, e in enumerate(net.edge_ids) if (i * 2654435761 % 100) / 100 < keep]
+        sub = net.subnetwork(eids)
+        profile = FloodProfile.build(sub, radius, engine=engine)
+        for smaller in {0, min(1, radius), radius // 2, radius}:
+            assert profile.schedule(smaller) == flood_schedule(sub, smaller)
+
+    def test_profile_npz_round_trip(self, tmp_path):
+        sub = torus(5, 5)
+        profile = FloodProfile.build(sub, 5)
+        path = tmp_path / "profile.npz"
+        profile.to_npz(path)
+        assert FloodProfile.from_npz(path) == profile
+
+    def test_radius_beyond_profile_is_refused(self):
+        profile = FloodProfile.build(torus(4, 4), 2)
+        with pytest.raises(ValueError, match="cannot serve"):
+            profile.schedule(3)
+
+
+class TestArtifactStore:
+    def _net(self) -> Network:
+        return erdos_renyi(40, 0.15, seed=6)
+
+    def test_memory_layer_hits(self):
+        store = ArtifactStore()
+        net = self._net()
+        params = SamplerParams(k=1, h=1, seed=2)
+        first, info1 = store.fetch_spanner(net, params)
+        second, info2 = store.fetch_spanner(net, params)
+        assert info1.source == "built" and info2.source == "memory"
+        assert first is second  # shared immutable artifact
+        assert store.stats.misses == 1 and store.stats.memory_hits == 1
+
+    def test_disk_layer_survives_a_new_store(self, tmp_path):
+        net = self._net()
+        params = SamplerParams(k=1, h=1, seed=2)
+        cold = ArtifactStore(tmp_path)
+        built, _ = cold.fetch_spanner(net, params)
+        assert cold.stats.puts == 1
+        warm = ArtifactStore(tmp_path)
+        loaded, info = warm.fetch_spanner(net, params)
+        assert info.source == "disk"
+        assert loaded == built
+        # atomic writes leave no temp droppings behind
+        assert not [p for p in os.listdir(tmp_path) if ".tmp-" in p]
+
+    def test_corrupt_entries_degrade_to_misses(self, tmp_path):
+        net = self._net()
+        params = SamplerParams(k=1, h=1, seed=2)
+        cold = ArtifactStore(tmp_path)
+        built, _ = cold.fetch_spanner(net, params)
+        for name in os.listdir(tmp_path):
+            (tmp_path / name).write_bytes(b"\x00corrupt\x00")
+        recovering = ArtifactStore(tmp_path)
+        rebuilt, info = recovering.fetch_spanner(net, params)
+        assert info.source == "built"
+        assert recovering.stats.corrupt == 1
+        assert rebuilt == built
+        # ...and the rebuilt entry replaced the corrupt file
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.fetch_spanner(net, params)[1].source == "disk"
+
+    def test_lru_evicts_and_counts(self):
+        store = ArtifactStore(capacity=1)
+        net = self._net()
+        store.fetch_spanner(net, SamplerParams(k=1, h=1, seed=1))
+        store.fetch_spanner(net, SamplerParams(k=1, h=1, seed=2))
+        assert store.stats.evictions == 1
+        # The first artifact was evicted: fetching it again is a miss.
+        store.fetch_spanner(net, SamplerParams(k=1, h=1, seed=1))
+        assert store.stats.misses == 3
+
+    def test_flood_schedule_truncation_and_extension(self):
+        store = ArtifactStore()
+        sub = torus(5, 5)
+        _, built = store.fetch_flood_schedule(sub, 4)
+        assert built.source == "built" and not built.extended
+        exact, hit = store.fetch_flood_schedule(sub, 4)
+        assert hit.source == "memory" and not hit.truncated
+        truncated, info = store.fetch_flood_schedule(sub, 2)
+        assert info.source == "memory" and info.truncated
+        assert truncated == flood_schedule(sub, 2)
+        extended, info = store.fetch_flood_schedule(sub, 6)
+        assert info.source == "built" and info.extended
+        assert extended == flood_schedule(sub, 6)
+        # after the extension, the larger profile serves the old radius
+        again, info = store.fetch_flood_schedule(sub, 4)
+        assert info.source == "memory" and info.truncated
+        assert again == exact
+
+    def test_byte_budget_evicts_heavy_profiles(self):
+        store = ArtifactStore(byte_budget=1)  # any profile overflows it
+        a, b = torus(4, 4), torus(4, 5)
+        store.fetch_flood_schedule(a, 2)
+        store.fetch_flood_schedule(b, 2)  # evicts a's profile by weight
+        assert store.stats.evictions == 1
+        _, info = store.fetch_flood_schedule(b, 2)
+        assert info.source == "memory"  # the newest entry is always kept
+        _, info = store.fetch_flood_schedule(a, 2)
+        assert info.source == "built"  # a was evicted, rebuilt on demand
+
+    def test_disk_spanner_with_wrong_params_is_a_miss(self, tmp_path):
+        # Same graph, different SamplerParams: a file moved under the
+        # other key's path must not be served (the fingerprint alone
+        # would pass; the store also pins the params).
+        net = self._net()
+        a = SamplerParams(k=1, h=1, seed=2)
+        b = SamplerParams(k=1, h=2, seed=2)
+        seeded = ArtifactStore(tmp_path)
+        seeded.fetch_spanner(net, a)
+        from repro.store.keys import spanner_key
+
+        source = tmp_path / f"{spanner_key(net.fingerprint(), a)}.npz"
+        target = tmp_path / f"{spanner_key(net.fingerprint(), b)}.npz"
+        target.write_bytes(source.read_bytes())
+        recovering = ArtifactStore(tmp_path)
+        rebuilt, info = recovering.fetch_spanner(net, b)
+        assert info.source == "built" and recovering.stats.corrupt == 1
+        assert rebuilt.params == b
+
+    def test_disk_profile_for_another_graph_is_a_miss(self, tmp_path):
+        # A file renamed under another key's path (graph mismatch) must
+        # degrade to a counted miss, never serve foreign distances.
+        store = ArtifactStore(tmp_path)
+        victim, impostor = torus(4, 4), torus(4, 5)
+        store.fetch_flood_schedule(impostor, 2)
+        from repro.store.keys import flood_key
+        from repro.graphs.distance import resolve_engine
+
+        engine = resolve_engine(None)
+        wrong = tmp_path / f"{flood_key(impostor.fingerprint(), engine)}.npz"
+        right = tmp_path / f"{flood_key(victim.fingerprint(), engine)}.npz"
+        right.write_bytes(wrong.read_bytes())
+        recovering = ArtifactStore(tmp_path)
+        schedule, info = recovering.fetch_flood_schedule(victim, 2)
+        assert info.source == "built" and recovering.stats.corrupt == 1
+        assert schedule == flood_schedule(victim, 2)
+
+    def test_manifest_missing_graph_field_is_artifact_error(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        net = erdos_renyi(12, 0.3, seed=1)
+        path = tmp_path / "holey.npz"
+        manifest = {"schema": 1, "kind": "spanner"}  # no "graph"
+        with open(path, "wb") as handle:
+            np.savez(handle, manifest=np.asarray(json.dumps(manifest)))
+        with pytest.raises(ArtifactError, match="different graph"):
+            SpannerResult.from_npz(path, net)
+
+    def test_profile_cell_limit_bypasses_caching(self, monkeypatch):
+        monkeypatch.setattr("repro.store.store.PROFILE_CELL_LIMIT", 10)
+        store = ArtifactStore()
+        sub = torus(4, 4)
+        schedule, info = store.fetch_flood_schedule(sub, 3)
+        assert info.source == "bypass"
+        assert store.stats.bypasses == 1
+        assert schedule == flood_schedule(sub, 3)
+        assert PROFILE_CELL_LIMIT > 10  # the module constant is untouched
+
+    def test_store_off_and_on_are_bit_identical(self):
+        net = self._net()
+        params = SamplerParams(k=1, h=2, seed=9)
+        plain = run_one_stage(net, BallCollect(2), params=params, seed=5)
+        store = ArtifactStore()
+        cold = run_one_stage(net, BallCollect(2), params=params, seed=5, store=store)
+        warm = run_one_stage(net, BallCollect(2), params=params, seed=5, store=store)
+        assert plain == cold == warm
+
+    def test_graph_diameter_memo(self):
+        store = ArtifactStore()
+        net = torus(4, 5)
+        from repro.simulate.global_tasks import graph_diameter
+
+        assert store.graph_diameter(net) == graph_diameter(net)
+        assert store.graph_diameter(net) == graph_diameter(net)  # memo hit
+
+
+class TestDefaultStore:
+    def test_unset_env_means_no_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert default_store() is None
+        assert resolve_store(None) is None
+
+    def test_env_enables_a_shared_disk_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        store = default_store()
+        assert store is not None and store.directory == tmp_path
+        assert default_store() is store  # one instance per configuration
+        assert resolve_store(None) is store
+
+    def test_explicit_store_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        mine = ArtifactStore()
+        assert resolve_store(mine) is mine
