@@ -15,6 +15,7 @@ from repro.bench.experiments_spanner import (
     run_e7,
 )
 from repro.bench.experiments_scheme import run_e8, run_e9, run_e10
+from repro.bench.experiments_dynamic import run_e11
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
@@ -29,11 +30,12 @@ EXPERIMENTS: dict[str, Callable[[str], TableResult]] = {
     "E8": run_e8,
     "E9": run_e9,
     "E10": run_e10,
+    "E11": run_e11,
 }
 
 
 def run_experiment(name: str, scale: str = "quick") -> TableResult:
-    """Run one experiment by id (``E1`` .. ``E10``)."""
+    """Run one experiment by id (``E1`` .. ``E11``)."""
     key = name.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")

@@ -29,18 +29,20 @@ from repro.bench.tables import format_table
 __all__ = ["main"]
 
 
-def _run_experiment_chunk(name: str, scale: str) -> tuple[str, bool]:
+def _run_experiment_chunk(name: str, scale: str):
     """Worker for ``--jobs``: run one experiment, return its rendered
-    chunk and whether it failed.  Each experiment cell is
-    seed-deterministic, so chunks merge order-independently; the parent
-    re-emits them in canonical experiment order."""
+    chunk, whether it failed, and the (pickleable) ``TableResult`` —
+    the parent needs E11's table for ``--update-readme``.  Each
+    experiment cell is seed-deterministic, so chunks merge
+    order-independently; the parent re-emits them in canonical
+    experiment order."""
     started = time.perf_counter()
     try:
         table = run_experiment(name, scale)
     except AssertionError as exc:
-        return f"== {name}: FAILED ==\n{exc}", True
+        return f"== {name}: FAILED ==\n{exc}", True, None
     elapsed = time.perf_counter() - started
-    return f"{format_table(table)}\n({elapsed:.1f}s)", False
+    return f"{format_table(table)}\n({elapsed:.1f}s)", False, table
 
 
 def _positive_int(value: str) -> int:
@@ -70,7 +72,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--experiment",
         default="all",
-        help="experiment id (E1..E10) or 'all'",
+        help="experiment id (E1..E11) or 'all'",
     )
     parser.add_argument(
         "--scale",
@@ -126,7 +128,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--update-readme",
         action="store_true",
-        help="with --perf: regenerate the README's Performance section",
+        help="regenerate the README's generated sections: Performance/"
+        "Serving with --perf, Robustness with an experiment run that "
+        "includes E11",
     )
     parser.add_argument(
         "--store",
@@ -174,23 +178,40 @@ def main(argv: list[str] | None = None) -> int:
 
     chunks: list[str] = []
     failures = 0
+    tables: dict[str, object] = {}
     if args.jobs > 1 and len(names) > 1:
         with ProcessPoolExecutor(max_workers=args.jobs) as pool:
-            for chunk, failed in pool.map(
-                _run_experiment_chunk, names, [args.scale] * len(names)
+            for name, (chunk, failed, table) in zip(
+                names,
+                pool.map(_run_experiment_chunk, names, [args.scale] * len(names)),
             ):
                 failures += int(failed)
                 chunks.append(chunk)
+                tables[name.upper()] = table
     else:
         for name in names:
-            chunk, failed = _run_experiment_chunk(name, args.scale)
+            chunk, failed, table = _run_experiment_chunk(name, args.scale)
             failures += int(failed)
             chunks.append(chunk)
+            tables[name.upper()] = table
     output = "\n\n".join(chunks) + "\n"
     sys.stdout.write(output)
     if args.out:
         with open(args.out, "a", encoding="utf-8") as handle:
             handle.write(output)
+    if args.update_readme:
+        from repro.bench.experiments_dynamic import update_readme_robustness
+
+        table = tables.get("E11")
+        if table is None:
+            sys.stderr.write(
+                "--update-readme without --perf regenerates the Robustness "
+                "section and needs E11 in the run\n"
+            )
+        elif update_readme_robustness(table):
+            sys.stdout.write("updated README.md Robustness section\n")
+        else:
+            sys.stderr.write("README.md markers not found; section not updated\n")
     return 1 if failures else 0
 
 

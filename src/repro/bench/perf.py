@@ -68,6 +68,7 @@ from repro.algorithms import (
 from repro.analysis.stretch import adjacent_pair_stretch
 from repro.core import SamplerParams, build_spanner
 from repro.core.distributed import build_spanner_distributed
+from repro.dynamic import ChurnPlan, apply_churn, repair_spanner
 from repro.graphs import barabasi_albert, erdos_renyi, torus
 from repro.local.network import Network
 from repro.service import SimulationService
@@ -212,6 +213,40 @@ def _service_cold(built: tuple[Network, SimulationService]) -> object:
     )
 
 
+# repair/* kernels time the self-healing path (DESIGN.md §3.9): one
+# churn epoch hits a cached spanner, and the measured body repairs it
+# onto the mutated graph — replaying untouched cluster trials from the
+# parent trace, re-running only the churn-affected ones.  The baseline
+# is the store's real alternative on a miss: a cold distributed rebuild
+# of the same post-churn graph (acceptance: >= 3x at n=2000).
+_REPAIR_PLAN = ChurnPlan(seed=5, epochs=1, edge_removal=0.02, edge_addition=0.01)
+
+
+def _repair_input(net: Network) -> tuple[Network, object, Network, object]:
+    parent = build_spanner_distributed(net, _SPANNER_PARAMS)
+    child, log = apply_churn(net, _REPAIR_PLAN)
+    return net, parent, child, log
+
+
+def _repair(built: tuple) -> object:
+    _, parent, child, log = built
+    return repair_spanner(parent, child, log)
+
+
+def _repair_rebuild(built: tuple) -> object:
+    _, _, child, _ = built
+    return build_spanner_distributed(child, _SPANNER_PARAMS)
+
+
+def _baseline_label(name: str) -> str:
+    """What a kernel's ``baseline_seconds`` column timed."""
+    if name.startswith("service/"):
+        return "cold"
+    if name.startswith("repair/"):
+        return "rebuild"
+    return "dense"
+
+
 def _spanner_dist(family: str):
     def run(net: Network) -> object:
         return build_spanner_distributed(net, _DIST_PARAMS[family])
@@ -345,6 +380,22 @@ def default_kernels() -> list[Kernel]:
                 baseline=_service_cold,
             )
         )
+    # repair/* kernels: incremental spanner repair after one churn
+    # epoch, with the cold distributed rebuild of the post-churn graph
+    # as the baseline (acceptance: >= 3x at n=2000, DESIGN.md §3.9).
+    for family, build in (
+        ("gnp", lambda: _repair_input(_gnp(2000))),
+        ("ba", lambda: _repair_input(barabasi_albert(2000, 4, seed=1))),
+    ):
+        kernels.append(
+            Kernel(
+                f"repair/{family}/n2000",
+                build,
+                _repair,
+                repeats=3,
+                baseline=_repair_rebuild,
+            )
+        )
     return kernels
 
 
@@ -414,9 +465,9 @@ def _measure_named_kernel(name: str, repeats: int | None) -> tuple[dict, dict | 
 def _progress_line(name: str, entry: dict) -> str:
     line = f"{name}: {entry['seconds']:.3f}s (n={entry['n']}, m={entry['m']})"
     if "baseline_seconds" in entry:
-        # spanner_dist/* baselines time the dense scheduler,
-        # service/* baselines time the cold (empty-store) serve.
-        label = "cold" if name.startswith("service/") else "dense"
+        # spanner_dist/* baselines time the dense scheduler, service/*
+        # the cold (empty-store) serve, repair/* the cold rebuild.
+        label = _baseline_label(name)
         line += (
             f"; {label} baseline {entry['baseline_seconds']:.3f}s "
             f"-> {entry['speedup']:.2f}x"
@@ -556,7 +607,7 @@ def format_report(doc: dict) -> str:
         if "median_seconds" in entry:
             line += f"   median {entry['median_seconds']:.3f}s"
         if "baseline_seconds" in entry:
-            label = "cold" if name.startswith("service/") else "dense"
+            label = _baseline_label(name)
             line += (
                 f"   {label} {entry['baseline_seconds']:.3f}s "
                 f"({entry['speedup']:.2f}x)"
@@ -633,7 +684,7 @@ def render_readme_section(doc: dict) -> str:
     ]
     for name, entry in doc["kernels"].items():
         if "baseline_seconds" in entry:
-            label = "cold" if name.startswith("service/") else "dense"
+            label = _baseline_label(name)
             baseline = (
                 f"{label} {entry['baseline_seconds']:.3f}s ({entry['speedup']:.2f}x)"
             )
@@ -668,7 +719,10 @@ def render_readme_section(doc: dict) -> str:
         "`service/*` kernels time one warm payload batch through "
         "`SimulationService`; their cold baseline serves the same batch "
         "with an empty artifact store (DESIGN.md §3.8 — see the Serving "
-        "section)."
+        "section).  `repair/*` kernels time the incremental spanner "
+        "repair after one churn epoch; their rebuild baseline is a cold "
+        "distributed construction of the same post-churn graph "
+        "(DESIGN.md §3.9)."
     )
     lines.append("")
     lines.append(

@@ -111,6 +111,7 @@ class SamplerRun:
             by_neighbor = {
                 cid: self._group_by_neighbor(cid, edges) for cid, edges in live.items()
             }
+            edge_neighbor = None
         else:
             by_neighbor = {
                 cid: self._group_by_neighbor_reference(cid, edges)
@@ -130,8 +131,80 @@ class SamplerRun:
         else:
             heights = {cid: self.forest.tree(cid).height for cid in self._active}
 
-        machines: dict[int, TrialMachine] = {}
+        machines = self._run_trials(j, live, by_neighbor, edge_neighbor)
+
+        level_f: set[int] = set()
+        for machine in machines.values():
+            level_f.update(machine._f_active.values())
+        self.spanner_edges |= level_f
+
+        if j < self.params.k:
+            centers, joins, unclustered = self._form_clusters(j, machines)
+        else:
+            # Final level: no clustering; every node of G_k is unclustered.
+            centers, joins = (), ()
+            unclustered = tuple(sorted(self._active))
+
+        active_edges = stale_edges = 0
+        for cid, groups in by_neighbor.items():
+            for other, bundle in groups.items():
+                if other in self._active:
+                    active_edges += len(bundle)
+                else:
+                    stale_edges += len(bundle)
+        level_trace = LevelTrace(
+            level=j,
+            population=len(live),
+            active_edges=active_edges // 2,
+            stale_edges=stale_edges,
+            cluster_sizes=sizes,
+            cluster_heights=heights,
+            nodes={
+                cid: self._node_trace(cid, machine, live[cid], len(by_neighbor[cid]))
+                for cid, machine in machines.items()
+            },
+            centers=centers,
+            joins=joins,
+            unclustered=unclustered,
+            f_edges=frozenset(level_f),
+        )
+        self.trace.levels.append(level_trace)
+
+        # Apply the level's outcome.
+        for joiner, center, eid in joins:
+            self.forest.attach(joiner, center, eid)
+            if incremental:
+                self._merge_pools(joiner, center)
+        for cid in unclustered:
+            self._finish_cluster(cid, j, machines[cid], live[cid])
         if incremental:
+            for cid in unclustered:
+                self._pools.pop(cid, None)
+                self._dead.pop(cid, None)
+        self._after_level(j, level_trace)
+        self._active = set(centers) if j < self.params.k else set()
+        self._level_done = j + 1
+        return level_trace
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_trials(
+        self,
+        j: int,
+        live: dict[int, list[int]],
+        by_neighbor: dict[int, dict[int, list[int]]],
+        edge_neighbor: dict[int, dict[int, int]] | None,
+    ) -> dict[int, TrialMachine]:
+        """Run every active cluster's trial machine to completion.
+
+        Split out of :meth:`run_level` as the override point for
+        :class:`~repro.dynamic.repair.RepairRun`, which replays the
+        machines whose inputs a churn epoch provably did not change.
+        ``edge_neighbor`` is only supplied on the reference path.
+        """
+        machines: dict[int, TrialMachine] = {}
+        if self._incremental:
             trial_rng = self._rngf.prefix("trials", j)
             n = self.network.n
             target_j = self.params.target(j, n)
@@ -187,62 +260,13 @@ class SamplerRun:
                     ]
                     machine.deliver(results)
                 machines[cid] = machine
+        return machines
 
-        level_f: set[int] = set()
-        for machine in machines.values():
-            level_f.update(machine._f_active.values())
-        self.spanner_edges |= level_f
+    def _after_level(self, j: int, level_trace: LevelTrace) -> None:
+        """Hook after a level's joins/finishes apply, before the active
+        set advances.  The base run needs nothing here; ``RepairRun``
+        uses it to propagate its clean-cluster bookkeeping."""
 
-        if j < self.params.k:
-            centers, joins, unclustered = self._form_clusters(j, machines)
-        else:
-            # Final level: no clustering; every node of G_k is unclustered.
-            centers, joins = (), ()
-            unclustered = tuple(sorted(self._active))
-
-        active_edges = stale_edges = 0
-        for cid, groups in by_neighbor.items():
-            for other, bundle in groups.items():
-                if other in self._active:
-                    active_edges += len(bundle)
-                else:
-                    stale_edges += len(bundle)
-        level_trace = LevelTrace(
-            level=j,
-            population=len(live),
-            active_edges=active_edges // 2,
-            stale_edges=stale_edges,
-            cluster_sizes=sizes,
-            cluster_heights=heights,
-            nodes={
-                cid: self._node_trace(cid, machine, live[cid], len(by_neighbor[cid]))
-                for cid, machine in machines.items()
-            },
-            centers=centers,
-            joins=joins,
-            unclustered=unclustered,
-            f_edges=frozenset(level_f),
-        )
-        self.trace.levels.append(level_trace)
-
-        # Apply the level's outcome.
-        for joiner, center, eid in joins:
-            self.forest.attach(joiner, center, eid)
-            if incremental:
-                self._merge_pools(joiner, center)
-        for cid in unclustered:
-            self._finish_cluster(cid, j, machines[cid], live[cid])
-        if incremental:
-            for cid in unclustered:
-                self._pools.pop(cid, None)
-                self._dead.pop(cid, None)
-        self._active = set(centers) if j < self.params.k else set()
-        self._level_done = j + 1
-        return level_trace
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
     def _live_edges(self, cid: int) -> list[int]:
         """``X_v`` at level start: dedup minus received finish payloads."""
         if self._incremental:

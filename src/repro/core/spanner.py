@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.params import SamplerParams
 from repro.core.trace import SamplerTrace
@@ -19,6 +19,13 @@ class SpannerResult:
     ``messages`` is ``None`` for the centralized driver and holds the
     exact metered counts for the distributed driver.  ``rounds`` follows
     the same convention.
+
+    ``provenance`` is the fingerprint chain of ancestor *graphs* a
+    repaired spanner descends from, oldest first (empty for a fresh
+    build).  It is excluded from equality: a repaired result that is
+    bit-identical to a fresh build on the same graph *compares* equal —
+    the repair layer's headline contract — while still carrying its
+    lineage for the store and the service metrics.
     """
 
     network: Network
@@ -27,6 +34,7 @@ class SpannerResult:
     trace: SamplerTrace
     messages: MessageStats | None = None
     rounds: int | None = None
+    provenance: tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def size(self) -> int:

@@ -27,9 +27,10 @@ from repro.local.metrics import MessageStats, RunReport
 from repro.local.network import Network
 from repro.local.node import Context, NodeProgram
 from repro.local.runtime import Runtime
-from repro.local.faults import FaultPlan
+from repro.local.faults import CORRUPTED, FaultPlan
 
 __all__ = [
+    "CORRUPTED",
     "Context",
     "EdgeRef",
     "FaultPlan",

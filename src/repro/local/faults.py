@@ -6,6 +6,16 @@ users experiment with robustness of protocols built on the kernel.
 Faults are deterministic functions of ``(round, eid, sender)`` — the
 sender pins down the direction of travel over the edge — so runs remain
 reproducible.
+
+Two fault kinds share the same coin discipline:
+
+* **drops** remove a message entirely (it is metered as ``dropped``,
+  never delivered);
+* **corruption** tampers with a message in flight: the payload is
+  replaced by the :data:`CORRUPTED` sentinel but the envelope (edge,
+  sender, tag) survives and the message *is* delivered and metered in
+  ``total`` — the receiving program sees garbage, exactly as a
+  checksum-less transport would hand it over.
 """
 
 from __future__ import annotations
@@ -15,43 +25,109 @@ from typing import Callable
 
 from repro.rng import stable_uniform
 
-__all__ = ["FaultPlan", "DropRule"]
+__all__ = ["FaultPlan", "DropRule", "CorruptRule", "CORRUPTED"]
 
 DropRule = Callable[[int, int, int], bool]
 """``rule(round_index, eid, sender) -> bool``: True drops the message."""
 
+CorruptRule = Callable[[int, int, int], bool]
+"""``rule(round_index, eid, sender) -> bool``: True corrupts the payload."""
+
+
+class _CorruptedPayload:
+    """Singleton sentinel replacing a tampered payload (identity equality)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "CORRUPTED"
+
+    def __reduce__(self):  # pickling preserves the singleton
+        return (_corrupted_instance, ())
+
+
+def _corrupted_instance() -> "_CorruptedPayload":
+    return CORRUPTED
+
+
+CORRUPTED = _CorruptedPayload()
+"""What a receiver finds in place of a corrupted payload."""
+
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Decides whether the message ``sender`` sent in ``round`` over
-    ``eid`` is lost.
+    """Decides the fate of the message ``sender`` sent in ``round`` over
+    ``eid``.
 
     ``drop_probability`` applies a seeded Bernoulli coin per
     ``(round, eid, sender)`` — i.e. per direction of the edge; ``rule``
     allows arbitrary deterministic drop predicates over the same triple.
-    Either (or both) may be used.
+    Either (or both) may be used.  ``corrupt_probability`` and
+    ``corrupt_rule`` mirror the same discipline for payload tampering;
+    the corruption coin is drawn from an independent stream (key prefix
+    ``"corrupt"`` instead of ``"drop"``), so drop and corruption
+    decisions never correlate through the shared seed.
+
+    Evaluation order (the runtime's contract): the drop decision is
+    made first — a dropped message is gone and is **never** also
+    corrupted — and within each decision the deterministic rule is
+    consulted *before* the probability coin (see :meth:`drops`).
     """
 
     drop_probability: float = 0.0
     seed: int = 0
     rule: DropRule | None = None
+    corrupt_probability: float = 0.0
+    corrupt_rule: CorruptRule | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_probability <= 1.0:
             raise ValueError("drop_probability must be in [0, 1]")
+        if not 0.0 <= self.corrupt_probability <= 1.0:
+            raise ValueError("corrupt_probability must be in [0, 1]")
 
     @property
     def is_noop(self) -> bool:
-        """True when no message can ever be dropped (the runtime skips
-        the per-message coin entirely on this fast path)."""
-        return self.rule is None and self.drop_probability == 0.0
+        """True when no message can ever be dropped or corrupted (the
+        runtime skips the per-message coins entirely on this fast path)."""
+        return (
+            self.rule is None
+            and self.drop_probability == 0.0
+            and self.corrupt_rule is None
+            and self.corrupt_probability == 0.0
+        )
 
     def drops(self, round_index: int, eid: int, sender: int) -> bool:
+        """Whether the message is lost.
+
+        The deterministic ``rule`` is evaluated first; only when it
+        declines (or is absent) does the seeded coin
+        ``stable_uniform(seed, ("drop", round, eid, sender))`` decide —
+        so a rule hit never consumes nor depends on the coin, and the
+        coin stream is identical whether or not a rule is installed.
+        The runtime asks :meth:`drops` before :meth:`corrupts`: dropped
+        messages are never also counted as corrupted.
+        """
         if self.rule is not None and self.rule(round_index, eid, sender):
             return True
         if self.drop_probability > 0.0:
             coin = stable_uniform(self.seed, ("drop", round_index, eid, sender))
             return coin < self.drop_probability
+        return False
+
+    def corrupts(self, round_index: int, eid: int, sender: int) -> bool:
+        """Whether the (delivered) message's payload is tampered with.
+
+        Same rule-before-coin discipline as :meth:`drops`, over the
+        independent ``("corrupt", round, eid, sender)`` stream.
+        """
+        if self.corrupt_rule is not None and self.corrupt_rule(
+            round_index, eid, sender
+        ):
+            return True
+        if self.corrupt_probability > 0.0:
+            coin = stable_uniform(self.seed, ("corrupt", round_index, eid, sender))
+            return coin < self.corrupt_probability
         return False
 
     @classmethod

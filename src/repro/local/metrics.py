@@ -18,7 +18,9 @@ class MessageStats:
     ``Sampler`` uses tags like ``"query"``, ``"bcast"``, ``"finish"`` so
     experiments can attribute cost to protocol phases).  ``dropped``
     counts messages removed by a fault plan; they are *not* included in
-    ``total``.  ``per_round[r]`` holds the messages recorded while round
+    ``total``.  ``corrupted`` counts messages whose payload a fault plan
+    tampered with; corrupted messages *are* delivered, so they are
+    included in ``total`` (and ``by_tag``/``per_round``) as well.  ``per_round[r]`` holds the messages recorded while round
     ``r`` was open; ``sum(per_round) == total`` is an unconditional
     invariant (``record`` opens an implicit round if none is open yet).
 
@@ -32,6 +34,7 @@ class MessageStats:
 
     total: int = 0
     dropped: int = 0
+    corrupted: int = 0
     by_tag: Counter = field(default_factory=Counter)
     per_round: list[int] = field(default_factory=list)
     stage_offsets: list[int] = field(default_factory=list)
@@ -65,6 +68,9 @@ class MessageStats:
     def record_drop(self) -> None:
         self.dropped += 1
 
+    def record_corrupt(self) -> None:
+        self.corrupted += 1
+
     def open_round(self) -> None:
         self.per_round.append(0)
 
@@ -85,6 +91,7 @@ class MessageStats:
         merged = MessageStats(
             total=self.total + other.total,
             dropped=self.dropped + other.dropped,
+            corrupted=self.corrupted + other.corrupted,
             by_tag=self.by_tag + other.by_tag,
             per_round=self.per_round + other.per_round,
             stage_offsets=own_offsets + [shift + off for off in other_offsets],
@@ -124,5 +131,6 @@ class RunReport:
     def summary(self) -> str:
         return (
             f"rounds={self.rounds} messages={self.messages.total} "
-            f"(dropped={self.messages.dropped}) halted={self.halted}"
+            f"(dropped={self.messages.dropped}, "
+            f"corrupted={self.messages.corrupted}) halted={self.halted}"
         )

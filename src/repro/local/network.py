@@ -363,6 +363,57 @@ class Network:
             self._n, keep, us, vs, self._knowledge, name or f"{self._name}|sub"
         )
 
+    def mutated(
+        self,
+        *,
+        remove: Iterable[int] = (),
+        add: Iterable[tuple[int, int, int]] = (),
+        name: str = "",
+    ) -> "Network":
+        """A copy with ``remove``-d edge ids gone and ``add``-ed rows in.
+
+        ``add`` rows are ``(eid, u, v)`` triples; surviving edges keep
+        their ids (the property :meth:`subnetwork` guarantees, extended
+        to additions), so a churned graph stays fingerprint-comparable
+        and artifact-addressable.  The node universe is fixed: churn
+        never renumbers nodes, a "removed" node is simply one that lost
+        all its edges.  Validation matches ``__init__``: unknown removed
+        ids, duplicate/colliding added ids, self-loops, and out-of-range
+        endpoints all raise :class:`ConfigurationError`.
+        """
+        drop = set(remove)
+        for eid in drop:
+            if not self.has_edge_id(eid):
+                raise ConfigurationError(f"cannot remove unknown edge id {eid}")
+        rows: list[tuple[int, int, int]] = []
+        added_ids: set[int] = set()
+        for eid, a, b in add:
+            u, v = (a, b) if a <= b else (b, a)
+            if u == v:
+                raise ConfigurationError(f"self-loop on node {u} not allowed")
+            if not (0 <= u and v < self._n):
+                raise ConfigurationError(
+                    f"edge ({a}, {b}) has endpoint outside 0..{self._n - 1}"
+                )
+            if eid in added_ids or (self.has_edge_id(eid) and eid not in drop):
+                raise ConfigurationError(f"duplicate edge id {eid}")
+            added_ids.add(eid)
+            rows.append((eid, u, v))
+        ep_u = self._ep_u
+        ep_v = self._ep_v
+        for row, eid in enumerate(self._eids):
+            if eid not in drop:
+                rows.append((eid, ep_u[row], ep_v[row]))
+        rows.sort()
+        return Network._trusted(
+            self._n,
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+            self._knowledge,
+            name or f"{self._name}|mut",
+        )
+
     def with_knowledge(self, knowledge: Knowledge) -> "Network":
         """A view of the same graph under a different knowledge model.
 

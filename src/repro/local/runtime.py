@@ -36,7 +36,7 @@ import heapq
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import SimulationError
-from repro.local.faults import FaultPlan
+from repro.local.faults import CORRUPTED, FaultPlan
 from repro.local.message import Inbound, Outbound
 from repro.local.metrics import MessageStats, RunReport
 from repro.local.network import Network
@@ -397,9 +397,14 @@ class Runtime:
         for ctx in contexts:
             for msg in ctx._drain():
                 eid, sender, _payload, tag = msg
+                # Drop first: a lost message cannot also be corrupted
+                # (the FaultPlan contract documented on ``drops``).
                 if faults.drops(round_index, eid, sender):
                     stats.record_drop()
                     continue
+                if faults.corrupts(round_index, eid, sender):
+                    stats.record_corrupt()
+                    msg = (eid, sender, CORRUPTED, tag)
                 stats.record(tag)
                 queued.append(msg)
         return queued

@@ -35,6 +35,9 @@ from typing import Any, Iterable
 from repro.algorithms.base import LocalAlgorithm
 from repro.core.params import SamplerParams
 from repro.core.spanner import SpannerResult
+from repro.dynamic.churn import ChurnPlan, MutationLog
+from repro.dynamic.churn import apply_churn as _apply_churn
+from repro.dynamic.repair import repair_spanner
 from repro.local.faults import FaultPlan
 from repro.local.network import Network
 from repro.simulate.scheme import SchemeReport, theorem3_params
@@ -53,6 +56,11 @@ __all__ = [
 # this side memo) is the layer with real capacity accounting.
 _SUBNET_MEMO_CAP = 16
 
+# How far back the service walks a churn lineage looking for a cached
+# ancestor to repair from; beyond this a full rebuild is cheaper than
+# replaying an epoch avalanche.
+_LINEAGE_DEPTH_CAP = 16
+
 
 @dataclass(frozen=True)
 class SimulationRequest:
@@ -65,7 +73,12 @@ class SimulationRequest:
     silently honoured).  ``radius`` overrides the flood radius
     ``alpha * t`` the same way it does on
     :func:`~repro.simulate.transformer.simulate_over_spanner`.
-    ``faults`` requires ``engine="runtime"``.
+    ``faults`` requires ``engine="runtime"``.  ``allow_stale`` opts the
+    request into degraded answers: when the requested graph's spanner is
+    not cached but a cached churn *ancestor* is, the service serves the
+    ancestor's graph outright (marked ``"stale"`` in the response) —
+    the outputs describe the pre-churn topology, which is the explicit
+    trade the flag buys.
     """
 
     algo: LocalAlgorithm
@@ -78,6 +91,7 @@ class SimulationRequest:
     scheduler: str = "active"
     distance_engine: str | None = None
     faults: FaultPlan | None = None
+    allow_stale: bool = False
 
 
 @dataclass(frozen=True)
@@ -107,7 +121,13 @@ class SimulationResponse:
         return self.spanner_info.source == "built"
 
     def summary(self) -> str:
-        kind = "cold" if self.cold else "warm"
+        source = self.spanner_info.source
+        if self.cold:
+            kind = "cold"
+        elif source in ("repaired", "stale"):
+            kind = source
+        else:
+            kind = "warm"
         schedule = (
             self.schedule_info.source if self.schedule_info is not None else "runtime"
         )
@@ -126,6 +146,10 @@ class ServiceMetrics:
     cold_serves: int = 0
     spanner_hits: int = 0
     spanner_builds: int = 0
+    repairs: int = 0
+    rebuilds: int = 0
+    retries: int = 0
+    stale_served: int = 0
     schedule_hits: int = 0
     schedule_builds: int = 0
     schedule_truncations: int = 0
@@ -138,12 +162,21 @@ class ServiceMetrics:
 
     def observe(self, response: SimulationResponse) -> None:
         self.requests += 1
+        source = response.spanner_info.source
         if response.cold:
             self.cold_serves += 1
             self.spanner_builds += 1
             self.construction_messages_paid += response.construction_messages_paid
             rounds = response.spanner.rounds
             self.construction_rounds_paid += rounds if rounds is not None else 0
+        elif source == "repaired":
+            # Neither a hit nor a cold build: construction was healed
+            # from a cached ancestor at no metered message cost.
+            self.repairs += 1
+        elif source == "stale":
+            self.stale_served += 1
+            self.spanner_hits += 1  # served entirely from cache — an
+            # ancestor's entry, which is exactly what the flag allows
         else:
             self.spanner_hits += 1
         info = response.schedule_info
@@ -232,6 +265,82 @@ class SimulationService:
         # cache.  Insertion-ordered with a small cap so a long-lived
         # service streaming distinct graphs cannot pin memory unboundedly.
         self._subnets: dict[tuple[str, frozenset[int]], Network] = {}
+        # Churn lineage: child fingerprint -> (parent network, mutation
+        # log).  This is what lets a cache miss on a post-churn graph
+        # degrade to an incremental repair (or a stale serve) instead of
+        # a cold rebuild.
+        self._lineage: dict[str, tuple[Network, MutationLog]] = {}
+        # Fingerprints this service has already answered — a forced full
+        # build on one of these is a *re*build (cache loss), not a
+        # first-contact cold serve, and is counted separately.
+        self._served: set[str] = set()
+        self._retries_seen = 0
+
+    # ------------------------------------------------------------------
+    # churn lineage
+    # ------------------------------------------------------------------
+    def apply_churn(
+        self,
+        plan: ChurnPlan,
+        epoch: int = 0,
+        *,
+        network: Network | None = None,
+    ) -> tuple[Network, MutationLog]:
+        """Run one churn epoch and record its lineage for later repair.
+
+        Without ``network`` the service's own default graph is churned
+        and the default is advanced to the mutated graph — subsequent
+        default-graph requests hit the repair path instead of failing.
+        """
+        base = network if network is not None else self._network
+        if base is None:
+            raise ValueError("no network to churn and the service has no default")
+        child, log = _apply_churn(base, plan, epoch)
+        if not log.is_noop:
+            self._lineage[log.child_fingerprint] = (base, log)
+        if network is None:
+            self._network = child
+        return child, log
+
+    def record_churn(self, parent: Network, log: MutationLog) -> None:
+        """Register an externally applied churn epoch.
+
+        The service only needs the parent graph and the log to repair —
+        callers that mutate graphs through :func:`repro.dynamic.churn`
+        directly can still get graceful degradation by reporting here.
+        """
+        if log.parent_fingerprint != parent.fingerprint():
+            raise ValueError(
+                "mutation log does not describe this parent graph: "
+                f"log says {log.parent_fingerprint[:12]}…, "
+                f"network is {parent.fingerprint()[:12]}…"
+            )
+        if not log.is_noop:
+            self._lineage[log.child_fingerprint] = (parent, log)
+
+    def _lineage_base(
+        self, network: Network, params: SamplerParams
+    ) -> tuple[SpannerResult | None, tuple[MutationLog, ...]]:
+        """Walk the churn lineage up from ``network`` to a cached spanner.
+
+        Returns the nearest cached ancestor artifact plus the mutation
+        logs from that ancestor down to ``network`` (replay order), or
+        ``(None, ())`` when no recorded ancestor is cached within
+        :data:`_LINEAGE_DEPTH_CAP` epochs.
+        """
+        logs: list[MutationLog] = []
+        fingerprint = network.fingerprint()
+        for _ in range(_LINEAGE_DEPTH_CAP):
+            entry = self._lineage.get(fingerprint)
+            if entry is None:
+                return None, ()
+            parent, log = entry
+            logs.append(log)
+            cached, _ = self.store.peek_spanner(parent, params)
+            if cached is not None:
+                return cached, tuple(reversed(logs))
+            fingerprint = log.parent_fingerprint
+        return None, ()
 
     # ------------------------------------------------------------------
     def submit(self, request: SimulationRequest | LocalAlgorithm) -> SimulationResponse:
@@ -276,6 +385,7 @@ class SimulationService:
                 request.scheduler,
                 request.distance_engine,
                 request.faults,
+                request.allow_stale,
             )
             cached = shared.get(token)
             if cached is None:
@@ -300,9 +410,12 @@ class SimulationService:
                 f"request declares t={request.t} but {algo.name} runs "
                 f"{t} rounds on n={network.n}"
             )
-        spanner, spanner_info = self.store.fetch_spanner(
-            network, params, scheduler=request.scheduler
-        )
+        spanner, spanner_info = self._fetch_spanner_resilient(network, params, request)
+        if spanner_info.source == "stale":
+            # Degraded serve: answer over the cached ancestor's graph.
+            # Churn preserves the node universe, so the payload's round
+            # budget t is unchanged.
+            network = spanner.network
         radius = request.radius if request.radius is not None else spanner.stretch_bound * t
         schedule = None
         schedule_info = None
@@ -332,12 +445,73 @@ class SimulationService:
         report = SchemeReport(
             outputs=simulation.outputs, spanner=spanner, simulation=simulation
         )
-        assert spanner.messages is not None
+        self._sync_retries()
         return SimulationResponse(
             report=report,
             spanner_info=spanner_info,
             schedule_info=schedule_info,
+            # A repaired spanner carries no message meter (repair is a
+            # centralized replay, not a metered distributed run) — and
+            # pays none: that is the point.
             construction_messages_paid=(
-                spanner.messages.total if spanner_info.source == "built" else 0
+                spanner.messages.total
+                if spanner_info.source == "built" and spanner.messages is not None
+                else 0
             ),
         )
+
+    def _fetch_spanner_resilient(
+        self,
+        network: Network,
+        params: SamplerParams,
+        request: SimulationRequest,
+    ) -> tuple[SpannerResult, FetchInfo]:
+        """Fetch with graceful degradation instead of failure.
+
+        Order of preference on a cache miss: serve a cached churn
+        ancestor outright (only if the request opted in via
+        ``allow_stale``), repair the nearest cached ancestor onto the
+        requested graph (bit-identical to a fresh build, stored under
+        the post-churn key), and finally a full rebuild — which is
+        counted as such when the miss is a loss (previously served
+        graph, or known churn descendant) rather than first contact.
+        """
+        fingerprint = network.fingerprint()
+        spanner, info = self.store.peek_spanner(network, params)
+        if spanner is None:
+            ancestor, logs = self._lineage_base(network, params)
+            if ancestor is not None:
+                if request.allow_stale:
+                    return ancestor, FetchInfo("stale")
+                repaired = self._try_repair(ancestor, network, logs)
+                if repaired is not None:
+                    self.store.note_miss()  # the peek itself charged none
+                    self.store.put_spanner(repaired)
+                    self._served.add(fingerprint)
+                    return repaired, FetchInfo("repaired")
+            known = fingerprint in self._served or fingerprint in self._lineage
+            spanner, info = self.store.fetch_spanner(
+                network, params, scheduler=request.scheduler
+            )
+            if info.source == "built" and known:
+                self.metrics.rebuilds += 1
+        self._served.add(fingerprint)
+        return spanner, info
+
+    @staticmethod
+    def _try_repair(
+        ancestor: SpannerResult,
+        network: Network,
+        logs: tuple[MutationLog, ...],
+    ) -> SpannerResult | None:
+        """Attempt incremental repair; any failure degrades to rebuild."""
+        try:
+            return repair_spanner(ancestor, network, logs)
+        except Exception:
+            return None
+
+    def _sync_retries(self) -> None:
+        """Surface the store's transient-I/O retries in service metrics."""
+        seen = self.store.stats.retries
+        self.metrics.retries += seen - self._retries_seen
+        self._retries_seen = seen

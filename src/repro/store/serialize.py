@@ -83,7 +83,12 @@ def _read_npz(path) -> tuple[dict, dict]:
     try:
         with np.load(path, allow_pickle=False) as data:
             arrays = {name: data[name] for name in data.files}
-    except Exception as exc:  # zip/OS/format damage of any shape
+    except OSError:
+        # Transient I/O (EIO, EAGAIN, a vanished file) is *not* artifact
+        # damage: it propagates so the store's bounded-retry layer can
+        # re-read instead of permanently counting a corrupt miss.
+        raise
+    except Exception as exc:  # zip/format damage of any shape
         raise ArtifactError(f"unreadable artifact {path}: {exc}") from exc
     try:
         manifest = json.loads(str(arrays.pop("manifest")[()]))
@@ -117,6 +122,7 @@ def _encode_stats(stats: MessageStats | None) -> dict | None:
     return {
         "total": stats.total,
         "dropped": stats.dropped,
+        "corrupted": stats.corrupted,
         "by_tag": dict(stats.by_tag),
         "per_round": list(stats.per_round),
         "stage_offsets": list(stats.stage_offsets),
@@ -129,6 +135,9 @@ def _decode_stats(doc: dict | None) -> MessageStats | None:
     return MessageStats(
         total=int(doc["total"]),
         dropped=int(doc["dropped"]),
+        # Absent in artifacts written before corruption metering existed;
+        # those runs could not have corrupted anything.
+        corrupted=int(doc.get("corrupted", 0)),
         by_tag=Counter({str(tag): int(c) for tag, c in doc["by_tag"].items()}),
         per_round=_int_list(doc["per_round"]),
         stage_offsets=_int_list(doc["stage_offsets"]),
@@ -263,6 +272,7 @@ def save_spanner(path, result: SpannerResult) -> None:
         "rounds": result.rounds,
         "messages": _encode_stats(result.messages),
         "trace": _encode_trace(result.trace),
+        "provenance": list(result.provenance),
     }
     _write_npz(path, manifest, edges=np.asarray(sorted(result.edges), dtype=np.int64))
 
@@ -283,6 +293,8 @@ def load_spanner(path, network: Network) -> SpannerResult:
         trace = _decode_trace(manifest["trace"], params)
         messages = _decode_stats(manifest["messages"])
         rounds = manifest["rounds"]
+        # Absent in artifacts written before repair lineage existed.
+        provenance = tuple(str(fp) for fp in manifest.get("provenance", ()))
     except (KeyError, TypeError, ValueError) as exc:
         raise ArtifactError(f"artifact {path} is structurally damaged: {exc}") from exc
     return SpannerResult(
@@ -292,6 +304,7 @@ def load_spanner(path, network: Network) -> SpannerResult:
         trace=trace,
         messages=messages,
         rounds=None if rounds is None else int(rounds),
+        provenance=provenance,
     )
 
 

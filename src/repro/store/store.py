@@ -58,6 +58,11 @@ MEMORY_BYTE_BUDGET = 1 << 28
 
 ENV_VAR = "REPRO_STORE"
 
+# How many times a disk read is retried after a transient OSError
+# before the entry degrades to a miss.  Small and bounded: a flaky NFS
+# mount gets a second chance, a dead disk cannot stall the service.
+DISK_READ_RETRIES = 2
+
 
 class FetchInfo(NamedTuple):
     """Where an artifact came from, for hit/miss accounting."""
@@ -82,6 +87,7 @@ class StoreStats:
     corrupt: int = 0
     puts: int = 0
     bypasses: int = 0
+    retries: int = 0
 
     @property
     def hits(self) -> int:
@@ -96,6 +102,7 @@ class StoreStats:
             "corrupt": self.corrupt,
             "puts": self.puts,
             "bypasses": self.bypasses,
+            "retries": self.retries,
         }
 
 
@@ -194,6 +201,25 @@ class ArtifactStore:
         ``RunReport``s (the DESIGN.md §3.6 equivalence contract), so a
         hit under either scheduler is exact.
         """
+        cached, info = self.peek_spanner(network, params)
+        if cached is not None:
+            return cached, info
+        from repro.core.distributed import build_spanner_distributed
+
+        self.stats.misses += 1
+        built = build_spanner_distributed(network, params, scheduler=scheduler)
+        self.put_spanner(built)
+        return built, FetchInfo("built")
+
+    def peek_spanner(
+        self, network: Network, params: SamplerParams
+    ) -> tuple[SpannerResult | None, FetchInfo | None]:
+        """Cache-only spanner lookup: ``(None, None)`` instead of a build.
+
+        Hits are counted; a miss is *not* (the caller decides what a
+        failed peek becomes — the service's repair path, for example,
+        peeks ancestors without charging a miss per probe).
+        """
         key = spanner_key(network.fingerprint(), params)
         cached = self._lru.get(key)
         if cached is not None:
@@ -204,13 +230,23 @@ class ArtifactStore:
             self.stats.disk_hits += 1
             self._remember(key, loaded)
             return loaded, FetchInfo("disk")
-        from repro.core.distributed import build_spanner_distributed
+        return None, None
 
+    def put_spanner(self, result: SpannerResult) -> None:
+        """Insert an externally built (or repaired) spanner, write-through.
+
+        Keyed under the result's *own* graph fingerprint — a repaired
+        spanner lands under the post-churn fingerprint, exactly where a
+        later :meth:`fetch_spanner` on the mutated graph looks.
+        """
+        key = spanner_key(result.network.fingerprint(), result.params)
+        self._remember(key, result)
+        self._persist(key, serialize.save_spanner, result)
+
+    def note_miss(self) -> None:
+        """Count a miss decided outside :meth:`fetch_spanner` (e.g. a
+        failed peek the service answered by repair instead of build)."""
         self.stats.misses += 1
-        built = build_spanner_distributed(network, params, scheduler=scheduler)
-        self._remember(key, built)
-        self._persist(key, serialize.save_spanner, built)
-        return built, FetchInfo("built")
 
     def spanner(
         self,
@@ -340,17 +376,32 @@ class ArtifactStore:
         return self._dir / f"{key}.npz"
 
     def _load(self, key: str, loader, *args):
-        """Disk lookup; any damage is a miss, never an exception."""
+        """Disk lookup; any damage is a miss, never an exception.
+
+        Corruption (``ArtifactError``) is a permanent counted miss.  A
+        transient ``OSError`` earns up to :data:`DISK_READ_RETRIES`
+        immediate re-reads (counted in ``stats.retries``) before the
+        entry likewise degrades to a miss — flaky I/O may cost a
+        rebuild, but it can never raise out of the store.
+        """
         if self._dir is None:
             return None
         path = self._entry_path(key)
         if not path.exists():
             return None
-        try:
-            return loader(path, *args)
-        except ArtifactError:
-            self.stats.corrupt += 1
-            return None
+        for attempt in range(DISK_READ_RETRIES + 1):
+            try:
+                return loader(path, *args)
+            except ArtifactError:
+                self.stats.corrupt += 1
+                return None
+            except FileNotFoundError:
+                return None  # raced away since exists(): a plain miss
+            except OSError:
+                if attempt >= DISK_READ_RETRIES:
+                    return None
+                self.stats.retries += 1
+        return None
 
     def _persist(self, key: str, saver, artifact) -> None:
         """Atomic write-through; I/O failure degrades to memory-only."""

@@ -33,9 +33,9 @@ class TestTableResult:
 
 
 class TestRegistry:
-    def test_all_ten_registered(self):
-        assert len(EXPERIMENTS) == 10
-        assert all(f"E{i}" in EXPERIMENTS for i in range(1, 11))
+    def test_all_eleven_registered(self):
+        assert len(EXPERIMENTS) == 11
+        assert all(f"E{i}" in EXPERIMENTS for i in range(1, 12))
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):

@@ -1,0 +1,303 @@
+"""Churn engine + self-healing repair (repro.dynamic, DESIGN.md §3.9)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.validation import validate_spanner
+from repro.core import SamplerParams, build_spanner
+from repro.core.distributed import build_spanner_distributed
+from repro.dynamic import (
+    ChurnPlan,
+    MutationLog,
+    apply_churn,
+    churn_sequence,
+    repair_spanner,
+)
+from repro.dynamic.repair import RepairRun
+from repro.errors import ConfigurationError
+from repro.graphs import barabasi_albert, erdos_renyi, torus
+from repro.local.network import Network
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_PARAMS = SamplerParams(k=2, h=2, seed=1)
+
+
+def _mixed_plan(seed: int, rate: float, epochs: int = 1) -> ChurnPlan:
+    return ChurnPlan(
+        seed=seed,
+        epochs=epochs,
+        edge_removal=rate,
+        edge_addition=rate / 2,
+        node_crash=rate / 10,
+        node_recovery=0.5,
+    )
+
+
+class TestChurnEngine:
+    def test_apply_churn_is_deterministic(self, er_medium):
+        plan = _mixed_plan(3, 0.1)
+        a_net, a_log = apply_churn(er_medium, plan, epoch=0)
+        b_net, b_log = apply_churn(er_medium, plan, epoch=0)
+        assert a_net.fingerprint() == b_net.fingerprint()
+        assert a_log == b_log
+        assert a_log.removed_edges  # 10% of a 120-node gnp is never empty
+
+    def test_epochs_draw_independent_coins(self, er_medium):
+        plan = _mixed_plan(3, 0.1)
+        _, log0 = apply_churn(er_medium, plan, epoch=0)
+        _, log1 = apply_churn(er_medium, plan, epoch=1)
+        assert log0.removed_edges != log1.removed_edges
+
+    def test_log_chains_fingerprints(self, er_medium):
+        plan = _mixed_plan(5, 0.08, epochs=3)
+        steps = churn_sequence(er_medium, plan)
+        assert steps[0][1].parent_fingerprint == er_medium.fingerprint()
+        for (net_a, log_a), (_, log_b) in zip(steps, steps[1:]):
+            assert log_a.child_fingerprint == net_a.fingerprint()
+            assert log_a.child_fingerprint == log_b.parent_fingerprint
+
+    def test_crash_isolates_and_recovery_reattaches(self):
+        net = erdos_renyi(80, 0.1, seed=2)
+        crash = ChurnPlan(seed=9, edge_removal=0.0, node_crash=0.6)
+        after, log = apply_churn(net, crash, epoch=0)
+        assert log.crashed
+        for v in log.crashed:
+            assert after.degree(v) == 0
+        assert after.n == net.n  # the universe is fixed
+        recover = ChurnPlan(seed=9, edge_removal=0.0, node_recovery=1.0)
+        healed, rlog = apply_churn(after, recover, epoch=1)
+        assert rlog.recovered
+        for v in rlog.recovered:
+            assert healed.degree(v) > 0
+            assert after.degree(v) == 0  # recovered means previously isolated
+
+    def test_added_edges_use_fresh_ids(self, er_medium):
+        plan = ChurnPlan(seed=1, edge_removal=0.3, edge_addition=0.2)
+        after, log = apply_churn(er_medium, plan, epoch=0)
+        top = max(er_medium.edge_ids)
+        assert log.added_edges
+        for eid, u, v in log.added_edges:
+            assert eid > top
+            assert u <= v
+        # no parallel edges: every (u, v) pair occurs once
+        _, ep_u, ep_v = after.endpoints_flat()
+        pairs = list(zip(ep_u.tolist(), ep_v.tolist()))
+        assert len(pairs) == len(set(pairs))
+
+    def test_noop_epoch_returns_same_object(self, er_medium):
+        plan = ChurnPlan(seed=1, edge_removal=0.0)
+        after, log = apply_churn(er_medium, plan, epoch=0)
+        assert after is er_medium
+        assert log.is_noop
+        assert log.parent_fingerprint == log.child_fingerprint
+
+    def test_corruption_windows(self):
+        plan = ChurnPlan(seed=4, epochs=5, corruption=((1, 3, 0.2),))
+        assert plan.fault_plan(0).is_noop
+        assert plan.fault_plan(1).corrupt_probability == 0.2
+        assert plan.fault_plan(2).corrupt_probability == 0.2
+        assert plan.fault_plan(3).is_noop
+        # per-epoch seeds differ, so corruption coins never repeat
+        assert plan.fault_plan(1).seed != plan.fault_plan(2).seed
+
+    def test_plan_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnPlan(edge_removal=1.5)
+        with pytest.raises(ConfigurationError):
+            ChurnPlan(epochs=0)
+        with pytest.raises(ConfigurationError):
+            ChurnPlan(corruption=((3, 3, 0.5),))
+        with pytest.raises(ConfigurationError):
+            ChurnPlan(corruption=((0, 2, 0.0),))
+
+
+@st.composite
+def churned_pair(draw):
+    """A random small network plus one churn epoch over it."""
+    n = draw(st.integers(min_value=8, max_value=60))
+    p = draw(st.floats(min_value=0.05, max_value=0.3))
+    net = erdos_renyi(n, p, seed=draw(st.integers(0, 1000)))
+    plan = ChurnPlan(
+        seed=draw(st.integers(0, 1000)),
+        edge_removal=draw(st.sampled_from([0.0, 0.02, 0.1, 0.5])),
+        edge_addition=draw(st.sampled_from([0.0, 0.05])),
+        node_crash=draw(st.sampled_from([0.0, 0.05])),
+        node_recovery=0.5,
+    )
+    return net, plan
+
+
+class TestFingerprintProperty:
+    @given(pair=churned_pair())
+    @_SETTINGS
+    def test_fingerprint_changes_iff_epoch_mutates(self, pair):
+        """Network.fingerprint() moves exactly when the edge set does."""
+        net, plan = pair
+        after, log = apply_churn(net, plan, epoch=0)
+        mutated = bool(log.removed_edges or log.added_edges)
+        assert log.is_noop == (not mutated)
+        if mutated:
+            assert after.fingerprint() != net.fingerprint()
+        else:
+            assert after.fingerprint() == net.fingerprint()
+        assert log.child_fingerprint == after.fingerprint()
+
+
+class TestRepair:
+    @pytest.mark.parametrize(
+        "family",
+        [
+            lambda: erdos_renyi(150, 0.08, seed=5),
+            lambda: torus(12, 12),
+            lambda: barabasi_albert(150, 3, seed=5),
+        ],
+        ids=["gnp", "torus", "ba"],
+    )
+    @pytest.mark.parametrize("rate", [0.02, 0.1, 0.5])
+    def test_repair_equals_fresh_build(self, family, rate):
+        net = family()
+        parent = build_spanner(net, _PARAMS)
+        child, log = apply_churn(net, _mixed_plan(7, rate), epoch=0)
+        if log.is_noop:
+            pytest.skip("epoch was a no-op at this rate")
+        repaired = repair_spanner(parent, child, log)
+        fresh = build_spanner(child, _PARAMS)
+        assert repaired == fresh  # full equality: edges, trace, everything
+        assert repaired.provenance == (net.fingerprint(),)
+        validate_spanner(repaired)
+
+    @given(
+        seed=st.integers(0, 500),
+        rate=st.sampled_from([0.02, 0.1, 0.3]),
+        n=st.integers(min_value=20, max_value=80),
+    )
+    @_SETTINGS
+    def test_repair_equals_rebuild_property(self, seed, rate, n):
+        net = erdos_renyi(n, min(0.95, 8 / max(1, n - 1)), seed=seed)
+        parent = build_spanner(net, _PARAMS)
+        child, log = apply_churn(net, _mixed_plan(seed + 1, rate), epoch=0)
+        if log.is_noop:
+            return
+        assert repair_spanner(parent, child, log) == build_spanner(child, _PARAMS)
+
+    def test_repair_across_multi_epoch_chain(self):
+        net = erdos_renyi(150, 0.08, seed=6)
+        parent = build_spanner(net, _PARAMS)
+        steps = churn_sequence(net, _mixed_plan(11, 0.05, epochs=3))
+        final = steps[-1][0]
+        logs = [log for _, log in steps]
+        repaired = repair_spanner(parent, final, logs)
+        assert repaired == build_spanner(final, _PARAMS)
+        assert repaired.provenance == (net.fingerprint(),)
+
+    def test_chained_repairs_accumulate_provenance(self):
+        net = erdos_renyi(120, 0.08, seed=8)
+        spanner = build_spanner(net, _PARAMS)
+        fingerprints = []
+        for epoch in range(3):
+            fingerprints.append(net.fingerprint())
+            net, log = apply_churn(net, _mixed_plan(13, 0.05, epochs=3), epoch)
+            spanner = repair_spanner(spanner, net, log)
+        assert spanner.provenance == tuple(fingerprints)
+        assert spanner == build_spanner(net, _PARAMS)
+
+    def test_repair_from_distributed_parent(self):
+        """The store's cached artifacts are distributed builds; repair
+        must replay from their marker-laden traces just as well."""
+        net = erdos_renyi(150, 0.08, seed=9)
+        parent = build_spanner_distributed(net, _PARAMS)
+        child, log = apply_churn(net, _mixed_plan(17, 0.05), epoch=0)
+        repaired = repair_spanner(parent, child, log)
+        assert repaired == build_spanner(child, _PARAMS)
+        rebuilt = build_spanner_distributed(child, _PARAMS)
+        assert repaired.edges == rebuilt.edges
+        assert repaired.trace.signature() == rebuilt.trace.signature()
+        assert repaired.messages is None  # repair meters nothing
+
+    def test_repair_actually_replays(self):
+        """At low churn most cluster machines come from the parent trace."""
+        net = erdos_renyi(300, 0.04, seed=10)
+        parent = build_spanner(net, _PARAMS)
+        child, log = apply_churn(
+            net, ChurnPlan(seed=19, edge_removal=0.01), epoch=0
+        )
+        run = RepairRun(
+            child, _PARAMS, parent=parent, touched=log.touched_nodes()
+        )
+        result = run.run()
+        assert result == build_spanner(child, _PARAMS)
+        assert run.replayed_clusters > run.fresh_clusters
+
+    def test_repair_refuses_broken_chains(self, er_medium):
+        parent = build_spanner(er_medium, _PARAMS)
+        child, log = apply_churn(er_medium, _mixed_plan(23, 0.1), epoch=0)
+        other, other_log = apply_churn(er_medium, _mixed_plan(29, 0.1), epoch=0)
+        with pytest.raises(ConfigurationError):
+            repair_spanner(parent, child, [])  # empty chain
+        with pytest.raises(ConfigurationError):
+            repair_spanner(parent, child, other_log)  # chain ends elsewhere
+        grandchild, glog = apply_churn(child, _mixed_plan(31, 0.1), epoch=1)
+        with pytest.raises(ConfigurationError):
+            repair_spanner(parent, grandchild, glog)  # missing first link
+        with pytest.raises(ConfigurationError):
+            repair_spanner(parent, grandchild, [glog, log])  # wrong order
+
+    def test_repair_refuses_wrong_params(self, er_medium):
+        parent = build_spanner(er_medium, _PARAMS)
+        child, log = apply_churn(er_medium, _mixed_plan(37, 0.1), epoch=0)
+        with pytest.raises(ConfigurationError):
+            RepairRun(
+                child,
+                SamplerParams(k=2, h=3, seed=1),
+                parent=parent,
+                touched=frozenset(),
+            )
+
+
+class TestNetworkMutated:
+    def test_remove_unknown_eid_refused(self, path4):
+        with pytest.raises(Exception):
+            path4.mutated(remove=[999])
+
+    def test_add_self_loop_refused(self, path4):
+        with pytest.raises(Exception):
+            path4.mutated(add=[(100, 2, 2)])
+
+    def test_add_duplicate_eid_refused(self, path4):
+        with pytest.raises(Exception):
+            path4.mutated(add=[(0, 0, 3)])  # eid 0 survives
+
+    def test_roundtrip_remove_then_add_back(self, er_medium):
+        eid_row, ep_u, ep_v = er_medium.endpoints_flat()
+        victim = er_medium.edge_ids[0]
+        u, v = er_medium.endpoints(victim)
+        without = er_medium.mutated(remove=[victim])
+        assert without.m == er_medium.m - 1
+        restored = without.mutated(add=[(victim, u, v)])
+        assert restored.fingerprint() == er_medium.fingerprint()
+
+
+class TestProvenanceSerialization:
+    def test_provenance_roundtrips_through_store(self, tmp_path, er_medium):
+        parent = build_spanner_distributed(er_medium, _PARAMS)
+        child, log = apply_churn(er_medium, _mixed_plan(41, 0.1), epoch=0)
+        repaired = repair_spanner(parent, child, log)
+        path = tmp_path / "repaired.npz"
+        repaired.to_npz(path)
+        loaded = type(repaired).from_npz(path, child)
+        assert loaded == repaired
+        assert loaded.provenance == repaired.provenance == (er_medium.fingerprint(),)
+
+    def test_fresh_builds_have_empty_provenance(self, er_medium, tmp_path):
+        fresh = build_spanner_distributed(er_medium, _PARAMS)
+        assert fresh.provenance == ()
+        path = tmp_path / "fresh.npz"
+        fresh.to_npz(path)
+        assert type(fresh).from_npz(path, er_medium).provenance == ()

@@ -1,0 +1,168 @@
+"""Message-corruption faults: determinism, ordering, metering (§3.9)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.local import CORRUPTED, FaultPlan, NodeProgram
+from repro.local.metrics import MessageStats
+from repro.local.runtime import run_program
+
+
+class Collector(NodeProgram):
+    """Echo once, record every received payload — corruption-tolerant."""
+
+    def __init__(self, rounds: int = 1) -> None:
+        self.rounds = rounds
+        self.received: list[object] = []
+        self._r = 0
+
+    def on_start(self, ctx):
+        for port in ctx.ports:
+            ctx.send(port, ("data", ctx.node), tag="test")
+
+    def on_round(self, ctx, inbox):
+        self._r += 1
+        self.received.extend(msg.payload for msg in inbox)
+        if self._r >= self.rounds:
+            ctx.halt()
+
+    def output(self):
+        return tuple(
+            "CORRUPTED" if payload is CORRUPTED else payload
+            for payload in self.received
+        )
+
+
+class TestCorruptionSemantics:
+    def test_corrupted_payload_is_the_sentinel(self, path4):
+        plan = FaultPlan(corrupt_rule=lambda r, eid, sender: True)
+        report = run_program(path4, lambda n: Collector(), seed=0, faults=plan)
+        # every message is delivered (total unchanged) but tampered
+        assert report.messages.total == 2 * path4.m
+        assert report.messages.corrupted == 2 * path4.m
+        assert report.messages.dropped == 0
+        for out in report.outputs.values():
+            assert out, "corrupted messages must still be delivered"
+            assert all(payload == "CORRUPTED" for payload in out)
+
+    def test_envelope_survives_corruption(self, path4):
+        """Edge/tag metering is untouched: only the payload is garbage."""
+        plan = FaultPlan(corrupt_probability=1.0, seed=1)
+        clean = run_program(path4, lambda n: Collector(), seed=0)
+        dirty = run_program(path4, lambda n: Collector(), seed=0, faults=plan)
+        assert dirty.messages.total == clean.messages.total
+        assert dirty.messages.by_tag == clean.messages.by_tag
+        assert dirty.messages.per_round == clean.messages.per_round
+
+    def test_drop_beats_corruption(self, er_small):
+        """A dropped message is never also corrupted."""
+        plan = FaultPlan(
+            rule=lambda r, eid, sender: True,
+            corrupt_probability=1.0,
+            seed=2,
+        )
+        report = run_program(er_small, lambda n: Collector(), seed=0, faults=plan)
+        assert report.messages.dropped == 2 * er_small.m
+        assert report.messages.total == 0
+        assert report.messages.corrupted == 0
+
+    def test_corruption_never_shifts_drop_coins(self, er_small):
+        """Adding corruption must not change which messages drop."""
+        drops_only = FaultPlan(drop_probability=0.4, seed=7)
+        both = FaultPlan(drop_probability=0.4, seed=7, corrupt_probability=0.6)
+        r1 = run_program(er_small, lambda n: Collector(), seed=0, faults=drops_only)
+        r2 = run_program(er_small, lambda n: Collector(), seed=0, faults=both)
+        assert r1.messages.dropped == r2.messages.dropped
+        assert r1.messages.total == r2.messages.total
+        assert r2.messages.corrupted > 0
+
+    def test_corruption_is_deterministic(self, er_small):
+        plan = FaultPlan(corrupt_probability=0.5, seed=9)
+        r1 = run_program(er_small, lambda n: Collector(), seed=0, faults=plan)
+        r2 = run_program(er_small, lambda n: Collector(), seed=0, faults=plan)
+        assert r1.outputs == r2.outputs
+        assert r1.messages.corrupted == r2.messages.corrupted
+        assert 0 < r1.messages.corrupted < 2 * er_small.m
+
+    def test_rule_is_consulted_before_the_coin(self):
+        """A rule hit never consumes the coin: for triples the rule
+        declines, the decision is identical with or without a rule."""
+        coin_only = FaultPlan(corrupt_probability=0.5, seed=4)
+        with_rule = FaultPlan(
+            corrupt_probability=0.5,
+            seed=4,
+            corrupt_rule=lambda r, eid, sender: eid == 0,
+        )
+        for r in range(4):
+            for eid in range(6):
+                for sender in range(4):
+                    if eid == 0:
+                        assert with_rule.corrupts(r, eid, sender)
+                    else:
+                        assert with_rule.corrupts(r, eid, sender) == coin_only.corrupts(
+                            r, eid, sender
+                        )
+
+    def test_corrupt_and_drop_streams_are_independent(self):
+        """Same seed, same triple: the two decisions use distinct keys."""
+        plan = FaultPlan(drop_probability=0.5, corrupt_probability=0.5, seed=11)
+        triples = [(r, e, s) for r in range(6) for e in range(6) for s in range(2)]
+        drops = [plan.drops(*t) for t in triples]
+        corrupts = [plan.corrupts(*t) for t in triples]
+        assert drops != corrupts  # identical streams would correlate fully
+
+    @pytest.mark.parametrize("fixed", (None, 3))
+    def test_schedulers_agree_under_corruption(self, er_small, fixed):
+        def run(scheduler):
+            plan = FaultPlan(
+                drop_probability=0.2,
+                corrupt_probability=0.3,
+                seed=5,
+                corrupt_rule=lambda r, eid, sender: (r + eid) % 5 == 0,
+            )
+            return run_program(
+                er_small,
+                lambda n: Collector(rounds=3),
+                seed=2,
+                faults=plan,
+                fixed_rounds=fixed,
+                scheduler=scheduler,
+            )
+
+        dense, active = run("dense"), run("active")
+        assert dense.outputs == active.outputs
+        assert dense.messages.total == active.messages.total
+        assert dense.messages.dropped == active.messages.dropped
+        assert dense.messages.corrupted == active.messages.corrupted
+        assert dense.messages.per_round == active.messages.per_round
+
+
+class TestFaultPlanSurface:
+    def test_is_noop_covers_all_four_knobs(self):
+        assert FaultPlan.none().is_noop
+        assert not FaultPlan(drop_probability=0.1).is_noop
+        assert not FaultPlan(rule=lambda r, e, s: False).is_noop
+        assert not FaultPlan(corrupt_probability=0.1).is_noop
+        assert not FaultPlan(corrupt_rule=lambda r, e, s: False).is_noop
+
+    def test_invalid_corrupt_probability(self):
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_probability=-0.1)
+
+    def test_corrupted_singleton_survives_pickling(self):
+        assert pickle.loads(pickle.dumps(CORRUPTED)) is CORRUPTED
+
+    def test_stats_merge_carries_corrupted(self):
+        a, b = MessageStats(), MessageStats()
+        a.record("t")
+        a.record_corrupt()
+        b.record("t")
+        b.record_corrupt()
+        b.record_corrupt()
+        merged = MessageStats.merge(a, b)
+        assert merged.corrupted == 3

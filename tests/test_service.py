@@ -8,6 +8,8 @@ visible.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.algorithms import (
@@ -19,6 +21,7 @@ from repro.algorithms import (
     RandomizedColoring,
 )
 from repro.core import SamplerParams
+from repro.dynamic import ChurnPlan, apply_churn
 from repro.graphs import erdos_renyi, torus
 from repro.local.faults import FaultPlan
 from repro.service import SimulationRequest, SimulationService
@@ -245,3 +248,139 @@ class TestStoreAwareConsumers:
                 seed=5,
                 schedule=wrong,
             )
+
+
+def churn_plan(seed: int = 21, epochs: int = 1) -> ChurnPlan:
+    return ChurnPlan(
+        seed=seed,
+        epochs=epochs,
+        edge_removal=0.05,
+        edge_addition=0.02,
+        node_crash=0.01,
+        node_recovery=0.5,
+    )
+
+
+class TestResilientServing:
+    """Graceful degradation under churn and cache loss (DESIGN.md §3.9)."""
+
+    def test_churned_default_graph_is_repaired_not_rebuilt(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        service.submit(BallCollect(2))  # cold: caches the parent spanner
+        child, log = service.apply_churn(churn_plan())
+        assert not log.is_noop
+        response = service.submit(BallCollect(2))
+        assert response.spanner_info.source == "repaired"
+        assert not response.cold
+        assert response.construction_messages_paid == 0
+        assert response.summary().startswith("repaired serve")
+        # bit-identical to a fresh end-to-end run on the mutated graph
+        fresh = run_one_stage(child, BallCollect(2), params=PARAMS, seed=5)
+        assert response.outputs == fresh.outputs
+        assert response.simulation == fresh.simulation
+        assert response.spanner.edges == fresh.spanner.edges
+        metrics = service.metrics
+        assert metrics.repairs == 1 and metrics.rebuilds == 0
+        # the repaired artifact is a first-class cache entry afterwards
+        warm = service.submit(BallCollect(2))
+        assert warm.spanner_info.hit
+        assert metrics.repairs == 1
+
+    def test_multi_epoch_gap_is_repaired_in_one_walk(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        service.submit(BallCollect(2))
+        plan = churn_plan(seed=31, epochs=3)
+        for epoch in range(3):  # three unserved epochs pile up
+            child, _ = service.apply_churn(plan, epoch)
+        response = service.submit(BallCollect(2))
+        assert response.spanner_info.source == "repaired"
+        fresh = run_one_stage(child, BallCollect(2), params=PARAMS, seed=5)
+        assert response.outputs == fresh.outputs
+        assert response.simulation == fresh.simulation
+        # one repair call, however many epochs it walked: one ancestor
+        assert response.spanner.provenance == (net.fingerprint(),)
+        assert service.metrics.repairs == 1
+
+    def test_stale_request_is_served_from_the_ancestor(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        service.submit(BallCollect(2))
+        plan = churn_plan(seed=41, epochs=2)
+        child, _ = service.apply_churn(plan, 0)
+        service.submit(BallCollect(2))  # repaired: child is now cached
+        service.apply_churn(plan, 1)  # grandchild — never served
+        stale = service.submit(
+            SimulationRequest(algo=BallCollect(2), allow_stale=True)
+        )
+        assert stale.spanner_info.source == "stale"
+        assert stale.summary().startswith("stale serve")
+        # the answer describes the cached ancestor's (pre-churn) graph
+        fresh = run_one_stage(child, BallCollect(2), params=PARAMS, seed=5)
+        assert stale.outputs == fresh.outputs
+        assert stale.simulation == fresh.simulation
+        metrics = service.metrics
+        assert metrics.stale_served == 1 and metrics.repairs == 1
+        # without the flag the same request repairs instead
+        exact = service.submit(BallCollect(2))
+        assert exact.spanner_info.source == "repaired"
+        assert metrics.stale_served == 1 and metrics.repairs == 2
+
+    def test_record_churn_validates_the_parent(self, net):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        service.submit(BallCollect(2))
+        child, log = apply_churn(net, churn_plan(seed=51), 0)
+        stranger = erdos_renyi(60, 0.12, seed=99)
+        with pytest.raises(ValueError, match="does not describe"):
+            service.record_churn(stranger, log)
+        service.record_churn(net, log)  # externally applied churn
+        response = service.submit(SimulationRequest(algo=BallCollect(2), network=child))
+        assert response.spanner_info.source == "repaired"
+
+    def test_repair_failure_degrades_to_a_counted_rebuild(self, net, monkeypatch):
+        service = SimulationService(net, params=PARAMS, seed=5)
+        service.submit(BallCollect(2))
+        child, _ = service.apply_churn(churn_plan(seed=61))
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("repair machinery down")
+
+        monkeypatch.setattr("repro.service.service.repair_spanner", boom)
+        response = service.submit(BallCollect(2))  # never crashes
+        assert response.spanner_info.source == "built"
+        assert service.metrics.rebuilds == 1
+        fresh = run_one_stage(child, BallCollect(2), params=PARAMS, seed=5)
+        assert response.report == fresh
+
+    def test_cache_loss_on_a_served_graph_counts_as_rebuild(self, net, tmp_path):
+        store = ArtifactStore(tmp_path)
+        service = SimulationService(net, store=store, params=PARAMS, seed=5)
+        cold = service.submit(BallCollect(2))
+        for name in os.listdir(tmp_path):  # disk rots under the service
+            (tmp_path / name).write_bytes(b"\x00rot\x00")
+        store.clear_memory()
+        again = service.submit(BallCollect(2))
+        assert again.report == cold.report  # served, not crashed
+        assert again.spanner_info.source == "built"
+        assert service.metrics.rebuilds == 1
+        # first contact was a cold serve, not a rebuild
+        assert service.metrics.cold_serves == 2
+
+    def test_transient_disk_errors_are_retried_and_surfaced(self, net, tmp_path, monkeypatch):
+        from repro.store import serialize
+
+        store = ArtifactStore(tmp_path)
+        service = SimulationService(net, store=store, params=PARAMS, seed=5)
+        service.submit(BallCollect(2))
+        store.clear_memory()
+        real = serialize.load_spanner
+        state = {"failures": 1}
+
+        def flaky(path, network):
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                raise OSError("transient I/O glitch")
+            return real(path, network)
+
+        monkeypatch.setattr("repro.store.serialize.load_spanner", flaky)
+        warm = service.submit(BallCollect(2))
+        assert warm.spanner_info.source == "disk"
+        assert service.metrics.retries == 1

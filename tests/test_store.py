@@ -35,7 +35,7 @@ from repro.store import (
     save_flood_schedule,
     spanner_key,
 )
-from repro.store.store import PROFILE_CELL_LIMIT
+from repro.store.store import DISK_READ_RETRIES, PROFILE_CELL_LIMIT
 
 _SETTINGS = settings(
     max_examples=8,
@@ -350,3 +350,72 @@ class TestDefaultStore:
         monkeypatch.setenv("REPRO_STORE", str(tmp_path))
         mine = ArtifactStore()
         assert resolve_store(mine) is mine
+
+
+class _FlakyLoader:
+    """Wraps ``load_spanner``; raises ``exc`` for the first N calls."""
+
+    def __init__(self, real, failures: int, exc=OSError):
+        self.real = real
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self, path, network):
+        self.calls += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise self.exc("transient I/O glitch")
+        return self.real(path, network)
+
+
+class TestDiskRetries:
+    """Transient I/O must cost at most a rebuild, never an exception."""
+
+    def _seeded(self, tmp_path):
+        net = erdos_renyi(30, 0.2, seed=4)
+        params = SamplerParams(k=1, h=1, seed=2)
+        cold = ArtifactStore(tmp_path)
+        built, _ = cold.fetch_spanner(net, params)
+        return net, params, built
+
+    def test_one_transient_error_is_retried_to_a_hit(self, tmp_path, monkeypatch):
+        net, params, built = self._seeded(tmp_path)
+        from repro.store import serialize
+
+        flaky = _FlakyLoader(serialize.load_spanner, failures=1)
+        monkeypatch.setattr("repro.store.serialize.load_spanner", flaky)
+        store = ArtifactStore(tmp_path)
+        loaded, info = store.fetch_spanner(net, params)
+        assert info.source == "disk"
+        assert loaded == built
+        assert store.stats.retries == 1
+        assert store.stats.misses == 0 and store.stats.corrupt == 0
+        assert flaky.calls == 2  # failed once, succeeded on the retry
+
+    def test_persistent_errors_degrade_to_a_bounded_miss(self, tmp_path, monkeypatch):
+        net, params, built = self._seeded(tmp_path)
+        from repro.store import serialize
+
+        flaky = _FlakyLoader(serialize.load_spanner, failures=10**9)
+        monkeypatch.setattr("repro.store.serialize.load_spanner", flaky)
+        store = ArtifactStore(tmp_path)
+        rebuilt, info = store.fetch_spanner(net, params)
+        assert info.source == "built"  # degraded, never raised
+        assert rebuilt == built
+        assert store.stats.retries == DISK_READ_RETRIES
+        assert flaky.calls == DISK_READ_RETRIES + 1  # bounded, not forever
+        assert store.stats.corrupt == 0  # transient ≠ corrupt
+
+    def test_deleted_underneath_is_a_plain_miss(self, tmp_path, monkeypatch):
+        """A file raced away between exists() and open() burns no retries."""
+        net, params, built = self._seeded(tmp_path)
+        from repro.store import serialize
+
+        flaky = _FlakyLoader(serialize.load_spanner, failures=1, exc=FileNotFoundError)
+        monkeypatch.setattr("repro.store.serialize.load_spanner", flaky)
+        store = ArtifactStore(tmp_path)
+        rebuilt, info = store.fetch_spanner(net, params)
+        assert info.source == "built"
+        assert rebuilt == built
+        assert store.stats.retries == 0 and store.stats.corrupt == 0
