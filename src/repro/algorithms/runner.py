@@ -21,6 +21,8 @@ from typing import Any, Sequence
 
 from repro.algorithms.base import LocalAlgorithm, NodeInit
 from repro.errors import ProtocolError
+from repro.local.engine import VectorRuntime, resolve_round_engine
+from repro.local.faults import FaultPlan
 from repro.local.message import Inbound
 from repro.local.metrics import MessageStats, RunReport
 from repro.local.network import Network
@@ -124,21 +126,66 @@ def run_direct(
     seed: int = 0,
     *,
     scheduler: str = "active",
+    round_engine: str | None = None,
+    faults: FaultPlan | None = None,
 ) -> DirectOutcome:
-    """Execute on the kernel; messages and rounds are metered exactly."""
+    """Execute on the kernel; messages and rounds are metered exactly.
+
+    ``round_engine`` selects the execution engine (``"vector"`` /
+    ``"reference"``, default the process-wide ``REPRO_ROUND_ENGINE``).
+    The vector path runs registered algorithms as array populations and
+    silently falls back to the reference interpreter for everything
+    else — and for corrupt-capable fault plans, whose tampered payloads
+    only the per-node programs' error behaviour defines.
+    """
     t = algo.rounds(network.n)
+    plan = faults or FaultPlan.none()
+    if resolve_round_engine(round_engine) == "vector" and not plan.can_corrupt:
+        from repro.algorithms.vector import vector_population
+
+        population = vector_population(algo, network, seed)
+        if population is not None:
+            report = VectorRuntime(
+                network, population, max_rounds=t + 2, faults=faults
+            ).run()
+            return DirectOutcome(
+                outputs=report.outputs,
+                messages=report.messages,
+                rounds=report.rounds,
+            )
     report: RunReport = run_program(
         network,
         lambda node: _AlgorithmProgram(node, algo, seed, t),
         seed=seed,
         max_rounds=t + 2,
+        faults=faults,
         scheduler=scheduler,
     )
     return DirectOutcome(outputs=report.outputs, messages=report.messages, rounds=report.rounds)
 
 
-def run_inprocess(network: Network, algo: LocalAlgorithm, seed: int = 0) -> dict[int, Any]:
-    """Fast synchronous evaluation (no kernel); outputs only."""
+def run_inprocess(
+    network: Network,
+    algo: LocalAlgorithm,
+    seed: int = 0,
+    *,
+    round_engine: str | None = None,
+) -> dict[int, Any]:
+    """Fast synchronous evaluation (no kernel); outputs only.
+
+    Under the vector round engine, registered algorithms execute as
+    array populations (same outputs, no per-node Python stepping);
+    everything else runs the original message-free loop.
+    """
+    if resolve_round_engine(round_engine) == "vector":
+        from repro.algorithms.vector import vector_population
+
+        population = vector_population(algo, network, seed)
+        if population is not None:
+            t = algo.rounds(network.n)
+            return VectorRuntime(
+                network, population, max_rounds=t + 2
+            ).run().outputs
     n = network.n
     t = algo.rounds(n)
     states: list[Any] = []

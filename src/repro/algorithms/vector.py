@@ -1,0 +1,333 @@
+"""Vector populations for the array-friendly algorithms library entries.
+
+Each class here is the struct-of-arrays twin of one
+:class:`~repro.algorithms.base.LocalAlgorithm` run through
+``_AlgorithmProgram``: same round structure (``algo.step(r)`` for
+``r = 0..t``, step-``t`` outbox discarded, every node halts after step
+``t``), same per-node randomness (coloring pre-draws from the identical
+``node_tape`` stream), same outputs — so
+:func:`~repro.algorithms.runner.run_direct` is RunReport-identical
+across engines.
+
+A message in these populations always carries "the value its sender
+last announced", so no payload columns ride on the outbox: the
+population keeps one ``sent_*`` array per node and delivered rows read
+``sent_*[sender]``.  That works because sends of round ``r`` are
+delivered in round ``r + 1``, *before* the sender's next announcement
+is written.
+
+:func:`vector_population` is the registry lookup the runner dispatches
+through; algorithms without an entry (Luby MIS, matching, Baswana–Sen)
+simply fall back to the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.algorithms.aggregation import BallCollect, MinIdAggregation
+from repro.algorithms.base import LocalAlgorithm
+from repro.algorithms.bfs import BfsLayers
+from repro.algorithms.coloring import RandomizedColoring
+from repro.local.engine import (
+    PopulationInbox,
+    PopulationOutbox,
+    VectorProgram,
+    broadcast_outbox,
+)
+from repro.local.network import Network
+
+__all__ = ["vector_population"]
+
+
+class _AlgoPopulation(VectorProgram):
+    """Shared scaffolding: incidence CSR, round budget, halting."""
+
+    def __init__(self, algo: LocalAlgorithm, network: Network) -> None:
+        self.tag = algo.name
+        n = network.n
+        self._n = n
+        self._t = algo.rounds(n)
+        indptr, inc = network.incidence_csr()
+        self._indptr = np.frombuffer(indptr, dtype=np.int64)
+        self._inc = np.frombuffer(inc, dtype=np.int64)
+        self._degs = np.diff(self._indptr)
+        # Every node halts after step t (reference `_finish` at r == t,
+        # or straight from on_start when t == 0).
+        self._live = 0 if self._t == 0 else n
+
+    def _broadcast(self, nodes: np.ndarray) -> PopulationOutbox | None:
+        return broadcast_outbox(self._indptr, self._inc, nodes)
+
+    def _receivers(self, inbox: PopulationInbox) -> np.ndarray:
+        return np.repeat(
+            np.arange(self._n, dtype=np.int64), np.diff(inbox.indptr)
+        )
+
+    @property
+    def live(self) -> int:
+        return self._live
+
+
+class _VectorBfs(_AlgoPopulation):
+    """:class:`BfsLayers`: dist = 1 + min over first-round arrivals."""
+
+    def __init__(self, algo: BfsLayers, network: Network) -> None:
+        super().__init__(algo, network)
+        self._root = algo._root
+        self._dist = np.full(self._n, -1, dtype=np.int64)
+        self._dist[self._root] = 0
+
+    def on_start(self) -> PopulationOutbox | None:
+        if self._t == 0:
+            return None
+        return self._broadcast(np.asarray([self._root], dtype=np.int64))
+
+    def step_population(
+        self, round_index: int, inbox: PopulationInbox
+    ) -> PopulationOutbox | None:
+        newly = np.empty(0, dtype=np.int64)
+        if inbox.senders.size:
+            receivers = self._receivers(inbox)
+            values = self._dist[inbox.senders]
+            starts = np.flatnonzero(np.r_[True, receivers[1:] != receivers[:-1]])
+            segmin = np.minimum.reduceat(values, starts)
+            uniq = receivers[starts]
+            unset = self._dist[uniq] < 0
+            newly = uniq[unset]
+            self._dist[newly] = segmin[unset] + 1
+        if round_index >= self._t:
+            self._live = 0
+            return None
+        return self._broadcast(newly) if newly.size else None
+
+    def outputs(self) -> dict[int, int | None]:
+        dist = self._dist
+        return {
+            v: (int(dist[v]) if dist[v] >= 0 else None) for v in range(self._n)
+        }
+
+
+class _VectorMinId(_AlgoPopulation):
+    """:class:`MinIdAggregation`: broadcast the running minimum on change."""
+
+    def __init__(self, algo: MinIdAggregation, network: Network) -> None:
+        super().__init__(algo, network)
+        self._best = np.arange(self._n, dtype=np.int64)
+        self._sent = self._best.copy()  # value carried by in-flight messages
+
+    def on_start(self) -> PopulationOutbox | None:
+        if self._t == 0:
+            return None
+        # Step 0 emits at every node (`r == 0` forces the send).
+        return self._broadcast(np.arange(self._n, dtype=np.int64))
+
+    def step_population(
+        self, round_index: int, inbox: PopulationInbox
+    ) -> PopulationOutbox | None:
+        if inbox.senders.size:
+            receivers = self._receivers(inbox)
+            values = self._sent[inbox.senders]
+            starts = np.flatnonzero(np.r_[True, receivers[1:] != receivers[:-1]])
+            segmin = np.minimum.reduceat(values, starts)
+            uniq = receivers[starts]
+            np.minimum.at(self._best, uniq, segmin)
+        if round_index >= self._t:
+            self._live = 0
+            return None
+        changed = np.flatnonzero(self._best != self._sent)
+        if changed.size == 0:
+            return None
+        self._sent[changed] = self._best[changed]
+        return self._broadcast(changed)
+
+    def outputs(self) -> dict[int, int]:
+        return {v: int(self._best[v]) for v in range(self._n)}
+
+
+class _VectorBallCollect(_AlgoPopulation):
+    """:class:`BallCollect`: flood-style bitset accumulation."""
+
+    def __init__(self, algo: BallCollect, network: Network) -> None:
+        super().__init__(algo, network)
+        n = self._n
+        words = (n + 63) // 64
+        self._known = np.zeros((n, words), dtype=np.uint64)
+        idx = np.arange(n, dtype=np.int64)
+        self._known[idx, idx >> 6] = np.uint64(1) << (idx & 63).astype(np.uint64)
+        self._sent = self._known.copy()  # each node's last `new` bundle
+
+    def on_start(self) -> PopulationOutbox | None:
+        if self._t == 0:
+            return None
+        # Step 0: `new` is the node's own id — everyone with ports emits.
+        return self._broadcast(np.arange(self._n, dtype=np.int64))
+
+    def step_population(
+        self, round_index: int, inbox: PopulationInbox
+    ) -> PopulationOutbox | None:
+        emitters = np.empty(0, dtype=np.int64)
+        if inbox.senders.size:
+            receivers = self._receivers(inbox)
+            starts = np.flatnonzero(np.r_[True, receivers[1:] != receivers[:-1]])
+            orred = np.bitwise_or.reduceat(
+                self._sent[inbox.senders], starts, axis=0
+            )
+            uniq = receivers[starts]
+            fresh = orred & ~self._known[uniq]
+            sel = (fresh != 0).any(axis=1)
+            self._known[uniq] |= fresh
+            emitters = uniq[sel]
+            if round_index < self._t and emitters.size:
+                self._sent[emitters] = fresh[sel]
+        if round_index >= self._t:
+            self._live = 0
+            return None
+        return self._broadcast(emitters) if emitters.size else None
+
+    def outputs(self) -> dict[int, tuple[int, ...]]:
+        bits = np.unpackbits(
+            self._known.view(np.uint8), axis=1, bitorder="little"
+        )[:, : self._n]
+        return {
+            v: tuple(int(o) for o in np.flatnonzero(bits[v]))
+            for v in range(self._n)
+        }
+
+
+class _VectorColoring(_AlgoPopulation):
+    """:class:`RandomizedColoring`: trial-color with pre-drawn tapes.
+
+    Neighbor-fixed colors live in per-node bitsets over the global
+    color range; proposal selection picks the ``draw % |allowed|``-th
+    zero bit below the node's own palette size — the same list indexing
+    the reference does, without building the list.
+    """
+
+    def __init__(
+        self, algo: RandomizedColoring, network: Network, seed: int
+    ) -> None:
+        super().__init__(algo, network)
+        from repro.algorithms.runner import node_tape
+
+        n, t = self._n, self._t
+        self._palette = self._degs + 1
+        max_palette = int(self._palette.max()) if n else 1
+        self._words = (max_palette + 63) // 64
+        # Identical coin consumption to the reference init: one
+        # randrange(palette) per node per round 0..t.
+        draws = np.empty((n, t + 1), dtype=np.int64)
+        for v in range(n):
+            tape = node_tape(seed, v)
+            pal = int(self._palette[v])
+            draws[v] = [tape.randrange(pal) for _ in range(t + 1)]
+        self._draws = draws
+        self._fixed = np.full(n, -1, dtype=np.int64)
+        self._proposal = np.full(n, -1, dtype=np.int64)
+        self._nfixed = np.zeros((n, self._words), dtype=np.uint64)
+        self._sent_color = np.zeros(n, dtype=np.int64)
+        self._sent_isfixed = np.zeros(n, dtype=bool)
+
+    def _emit_round(self, r: int) -> PopulationOutbox | None:
+        """Steps 3 of the reference: announce-once + proposals."""
+        n = self._n
+        emit = np.zeros(n, dtype=bool)
+        newly = np.flatnonzero(self._fixed >= 0) if r == 0 else self._newly
+        if newly.size:
+            emit[newly] = True
+            self._sent_color[newly] = self._fixed[newly]
+            self._sent_isfixed[newly] = True
+            self._proposal[newly] = -1
+        uncolored = np.flatnonzero(self._fixed < 0)
+        if uncolored.size:
+            bits = np.unpackbits(
+                self._nfixed[uncolored].view(np.uint8),
+                axis=1,
+                bitorder="little",
+            )
+            cols = np.arange(bits.shape[1], dtype=np.int64)
+            allowed = (bits == 0) & (cols[None, :] < self._palette[uncolored, None])
+            counts = allowed.sum(axis=1)
+            ok = counts > 0
+            if ok.any():
+                pick = self._draws[uncolored, r] % np.maximum(counts, 1)
+                ranks = np.cumsum(allowed, axis=1)
+                chosen = np.argmax(allowed & (ranks == (pick + 1)[:, None]), axis=1)
+                proposers = uncolored[ok]
+                self._proposal[proposers] = chosen[ok]
+                self._sent_color[proposers] = chosen[ok]
+                self._sent_isfixed[proposers] = False
+                emit[proposers] = True
+            self._proposal[uncolored[~ok]] = -1
+        emitters = np.flatnonzero(emit)
+        return self._broadcast(emitters) if emitters.size else None
+
+    def on_start(self) -> PopulationOutbox | None:
+        self._newly = np.empty(0, dtype=np.int64)
+        if self._t == 0:
+            return None
+        return self._emit_round(0)
+
+    def step_population(
+        self, round_index: int, inbox: PopulationInbox
+    ) -> PopulationOutbox | None:
+        n = self._n
+        props = np.zeros((n, self._words), dtype=np.uint64)
+        if inbox.senders.size:
+            receivers = self._receivers(inbox)
+            colors = self._sent_color[inbox.senders]
+            flags = self._sent_isfixed[inbox.senders]
+            words = colors >> 6
+            bit = np.uint64(1) << (colors & 63).astype(np.uint64)
+            np.bitwise_or.at(
+                self._nfixed, (receivers[flags], words[flags]), bit[flags]
+            )
+            keep = ~flags
+            np.bitwise_or.at(
+                props, (receivers[keep], words[keep]), bit[keep]
+            )
+        # Resolve last round's proposals against proposals + fixed.
+        cand = np.flatnonzero((self._fixed < 0) & (self._proposal >= 0))
+        if cand.size:
+            prop = self._proposal[cand]
+            taken = (
+                (self._nfixed[cand, prop >> 6] | props[cand, prop >> 6])
+                >> (prop & 63).astype(np.uint64)
+            ) & np.uint64(1)
+            won = cand[taken == 0]
+            self._fixed[won] = self._proposal[won]
+            self._newly = won
+        else:
+            self._newly = np.empty(0, dtype=np.int64)
+        if round_index >= self._t:
+            self._live = 0
+            return None
+        return self._emit_round(round_index)
+
+    def outputs(self) -> dict[int, int | None]:
+        fixed = self._fixed
+        return {
+            v: (int(fixed[v]) if fixed[v] >= 0 else None)
+            for v in range(self._n)
+        }
+
+
+_BUILDERS: dict[type, Callable[..., VectorProgram]] = {
+    BfsLayers: lambda algo, network, seed: _VectorBfs(algo, network),
+    MinIdAggregation: lambda algo, network, seed: _VectorMinId(algo, network),
+    BallCollect: lambda algo, network, seed: _VectorBallCollect(algo, network),
+    RandomizedColoring: _VectorColoring,
+}
+
+
+def vector_population(
+    algo: LocalAlgorithm, network: Network, seed: int
+) -> VectorProgram | None:
+    """The vector twin of ``algo``, or ``None`` when only the reference
+    interpreter can execute it (unregistered algorithm class)."""
+    builder = _BUILDERS.get(type(algo))
+    if builder is None:
+        return None
+    return builder(algo, network, seed)

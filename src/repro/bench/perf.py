@@ -6,10 +6,11 @@ the active scheduler with its dense baseline (``spanner_dist/*``), the
 flood-schedule derivation on a spanner of each family (``flood/*``,
 including the vector-only ``n10000`` instances), the exact adjacent-pair
 stretch measurement (``stretch/*``), the end-to-end one- and
-two-stage message-reduction schemes on each family, and the amortized
+two-stage message-reduction schemes on each family, the amortized
 simulation service's warm-vs-cold batch throughput (``service/*``,
-DESIGN.md §3.8) — and records the results in ``BENCH_core.json`` at the
-repo root.  Every future PR then
+DESIGN.md §3.8), and the array-native round engine against the
+reference per-node interpreter (``runtime_vec/*``, DESIGN.md §3.10) —
+and records the results in ``BENCH_core.json`` at the repo root.  Every future PR then
 has a trajectory to beat:
 
 * ``--perf``            run the suite, print a table, write the JSON;
@@ -64,15 +65,17 @@ from repro.algorithms import (
     MinIdAggregation,
     RandomMatching,
     RandomizedColoring,
+    run_direct,
 )
 from repro.analysis.stretch import adjacent_pair_stretch
 from repro.core import SamplerParams, build_spanner
 from repro.core.distributed import build_spanner_distributed
 from repro.dynamic import ChurnPlan, apply_churn, repair_spanner
-from repro.graphs import barabasi_albert, erdos_renyi, torus
+from repro.graphs import barabasi_albert, dense_gnm, erdos_renyi, torus
 from repro.local.network import Network
 from repro.service import SimulationService
-from repro.simulate import flood_schedule, run_one_stage, run_two_stage
+from repro.simulate import flood_schedule, run_one_stage, run_two_stage, t_local_broadcast
+from repro.simulate.gossip import run_push_pull
 
 __all__ = [
     "BENCH_FILE",
@@ -238,12 +241,52 @@ def _repair_rebuild(built: tuple) -> object:
     return build_spanner_distributed(child, _SPANNER_PARAMS)
 
 
+# runtime_vec/* kernels time the array-native round engine (DESIGN.md
+# §3.10) against the reference per-node interpreter on one n=2000
+# instance each: a radius-2 runtime-engine flood on a *dense* G(n,m)
+# with m=90000 — the paper's m >> n regime, where the interpreter
+# pays per message and per bundle entry while the bitset rounds pay
+# one word-OR per 64 origins — 12 rounds of push-pull gossip (long
+# enough that known sets saturate, the reference's worst case), and
+# a registered LOCAL algorithm run end to end.  The baseline column
+# re-runs the *identical* body under ``round_engine="reference"`` —
+# same RunReport, different engine (acceptance: >= 3x on flood and
+# gossip).
+def _vec_flood(engine: str):
+    def run(net: Network) -> object:
+        return t_local_broadcast(
+            net,
+            payload_of=lambda v: (v,),
+            radius=2,
+            engine="runtime",
+            round_engine=engine,
+        )
+
+    return run
+
+
+def _vec_gossip(engine: str):
+    def run(net: Network) -> object:
+        return run_push_pull(net, rounds=12, t=2, seed=3, round_engine=engine)
+
+    return run
+
+
+def _vec_algo(engine: str):
+    def run(net: Network) -> object:
+        return run_direct(net, BallCollect(2), seed=7, round_engine=engine)
+
+    return run
+
+
 def _baseline_label(name: str) -> str:
     """What a kernel's ``baseline_seconds`` column timed."""
     if name.startswith("service/"):
         return "cold"
     if name.startswith("repair/"):
         return "rebuild"
+    if name.startswith("runtime_vec/"):
+        return "reference"
     return "dense"
 
 
@@ -271,8 +314,9 @@ def default_kernels() -> list[Kernel]:
     vector-only ``n10000`` instances), the exact adjacent-pair stretch
     measurement at ``n5000``, the one- and two-stage schemes
     (distributed stage 1 + every simulation) on a small and one larger
-    instance, plus the simulation service's warm payload batches with
-    their cold-store baselines."""
+    instance, the simulation service's warm payload batches with
+    their cold-store baselines, and the vector round engine against
+    its reference interpreter on flood/gossip/algorithm bodies."""
     kernels: list[Kernel] = []
     for n in (500, 1000, 2000):
         kernels.append(Kernel(f"spanner/gnp/n{n}", lambda n=n: _gnp(n), _spanner))
@@ -394,6 +438,22 @@ def default_kernels() -> list[Kernel]:
                 _repair,
                 repeats=3,
                 baseline=_repair_rebuild,
+            )
+        )
+    # runtime_vec/* kernels: the array-native round engine vs the
+    # reference per-node interpreter on the same body (DESIGN.md §3.10).
+    for label, make, build in (
+        ("flood", _vec_flood, lambda: dense_gnm(2000, 90000, seed=1)),
+        ("gossip", _vec_gossip, lambda: _gnp(2000)),
+        ("algo", _vec_algo, lambda: _gnp(2000)),
+    ):
+        kernels.append(
+            Kernel(
+                f"runtime_vec/{label}/n2000",
+                build,
+                make("vector"),
+                repeats=3,
+                baseline=make("reference"),
             )
         )
     return kernels
@@ -722,7 +782,13 @@ def render_readme_section(doc: dict) -> str:
         "section).  `repair/*` kernels time the incremental spanner "
         "repair after one churn epoch; their rebuild baseline is a cold "
         "distributed construction of the same post-churn graph "
-        "(DESIGN.md §3.9)."
+        "(DESIGN.md §3.9).  `runtime_vec/*` kernels time the array-"
+        "native round engine on a runtime flood (dense `G(n,m)`, the "
+        "paper's `m >> n` regime), a push–pull gossip run, and a "
+        "registered LOCAL algorithm; their reference baseline re-runs "
+        "the identical body on the per-node interpreter "
+        "(`REPRO_ROUND_ENGINE=reference`, identical `RunReport`s, "
+        "DESIGN.md §3.10)."
     )
     lines.append("")
     lines.append(

@@ -30,15 +30,24 @@ __all__ = ["build_spanner_distributed"]
 
 
 def build_spanner_distributed(
-    network: Network, params: SamplerParams, *, scheduler: str = "active"
+    network: Network,
+    params: SamplerParams,
+    *,
+    scheduler: str = "active",
+    engine: str | None = None,
 ) -> SpannerResult:
     """Execute ``Sampler`` as a real message-passing LOCAL algorithm.
 
-    ``scheduler`` selects the round engine: ``"active"`` (default) steps
-    only nodes with pending messages or due wake rounds — the
-    ``SamplerProgram`` derives its wake set from the global
+    ``scheduler`` selects the stepping discipline: ``"active"``
+    (default) steps only nodes with pending messages or due wake rounds
+    — the ``SamplerProgram`` derives its wake set from the global
     :class:`Schedule` — while ``"dense"`` is the step-everyone seed
     baseline; both produce identical reports (DESIGN.md §3.6).
+    ``engine`` selects the round engine (DESIGN.md §3.10): under
+    ``"vector"`` the active scheduler services the program's declared
+    hybrid planes (query/response and the status handshake) during
+    delivery; ``"reference"`` keeps every message on the per-node
+    dispatch path.  Reports are identical either way.
     """
     schedule = Schedule.build(params)
     report = run_program(
@@ -48,6 +57,7 @@ def build_spanner_distributed(
         max_rounds=schedule.total_rounds + 2,
         n_hint=network.n,
         scheduler=scheduler,
+        engine=engine,
     )
     if not report.halted:
         raise SimulationError("distributed Sampler did not halt")

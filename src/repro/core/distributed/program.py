@@ -25,6 +25,7 @@ off ``params.seed``, matching the centralized driver draw for draw.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Sequence
 
 from repro.core.distributed.schedule import Phase, PhaseKind, Schedule
@@ -33,10 +34,27 @@ from repro.core.trials import QueryResult, TrialMachine
 from repro.errors import ProtocolError
 from repro.local.knowledge import Knowledge
 from repro.local.message import Inbound
-from repro.local.node import Context, NodeProgram
-from repro.rng import RngFactory
+from repro.local.node import Context, HybridPlane, NodeProgram
+from repro.rng import RngFactory, RngPrefix
 
 __all__ = ["SamplerProgram"]
+
+# Shared pre-hashed derivation prefixes, one pair per root seed: every
+# leader derivation is ("trials"|"center", level, cid) off params.seed,
+# so 2n program instances can share two RngPrefix objects instead of
+# re-hashing the purpose part on each draw.  Bit-identical to the
+# RngFactory derivations (the RngPrefix contract, guarded by test_rng);
+# the cache holds one tiny entry per distinct seed seen in-process.
+_PREFIX_CACHE: dict[int, tuple[RngPrefix, RngPrefix]] = {}
+
+
+def _seed_prefixes(seed: int) -> tuple[RngPrefix, RngPrefix]:
+    pair = _PREFIX_CACHE.get(seed)
+    if pair is None:
+        factory = RngFactory(seed)
+        pair = (factory.prefix("trials"), factory.prefix("center"))
+        _PREFIX_CACHE[seed] = pair
+    return pair
 
 _STAY = "stay"
 _JOIN = "join"
@@ -47,11 +65,74 @@ _FINAL = "final"
 class SamplerProgram(NodeProgram):
     """State machine of one physical node across all levels."""
 
+    # Slotted: ~25 attributes are read on every one of the O(n * 3^k h)
+    # steps, so skipping the per-instance dict is a measurable win on
+    # the spanner_dist kernels.
+    __slots__ = (
+        "_node",
+        "_params",
+        "_schedule",
+        "_trials_rng",
+        "_center_rng",
+        "_parent",
+        "_children",
+        "_cid",
+        "_finished",
+        "_stored_cid",
+        "_stored_active",
+        "_stored_elist",
+        "_dead_payloads",
+        "_machine",
+        "_conv",
+        "_gathered",
+        "_plan",
+        "_trial_active",
+        "_responses",
+        "_center",
+        "_f_items",
+        "_cands",
+        "_decision",
+        "_pending_finish",
+        "_phase",
+        "_ports",
+        "_archive",
+    )
+
+    # Hybrid rounds (DESIGN.md §3.10): the point-to-point tags that
+    # dominate every run — the query/response exchange and the F-edge
+    # status handshake — have delivery-time effects of fixed shape, so
+    # the vector engine services them during delivery without stepping
+    # the receivers.  Each declaration mirrors the matching `_dispatch`
+    # branch exactly; the schedule guarantees the arrival rounds'
+    # phase actions are no-ops for receivers woken only by these
+    # messages (queries land at RESPONSE, status_reqs at STATUS_REP —
+    # both pure-delivery phases), and `_handle_reactive`'s rule — a
+    # finished node answers queries and absorbs finish payloads, nothing
+    # else — is carried by the `*_reactive` flags.
+    hybrid_planes = {
+        "query": HybridPlane(
+            respond_tag="response",
+            respond_attrs=("_stored_cid", "_stored_active", "_stored_elist"),
+            respond_reactive=True,
+        ),
+        "response": HybridPlane(absorb_into="_responses", entry="port_first"),
+        "status_req": HybridPlane(
+            absorb_into="_cands",
+            entry="port_last",
+            respond_tag="status_rep",
+            respond_attrs=("_stored_cid", "_center"),
+        ),
+        "status_rep": HybridPlane(absorb_into="_cands", entry="port_last"),
+        "finish": HybridPlane(
+            absorb_into="_dead_payloads", entry="payload0", absorb_reactive=True
+        ),
+    }
+
     def __init__(self, node: int, params: SamplerParams, schedule: Schedule) -> None:
         self._node = node
         self._params = params
         self._schedule = schedule
-        self._rngf = RngFactory(params.seed)
+        self._trials_rng, self._center_rng = _seed_prefixes(params.seed)
         # tree / cluster state
         self._parent: int | None = None
         self._children: list[int] = []
@@ -64,7 +145,7 @@ class SamplerProgram(NodeProgram):
         self._dead_payloads: list[tuple[int, ...]] = []
         # per-level state
         self._machine: TrialMachine | None = None
-        self._conv: dict[str, Any] | None = None
+        self._conv: list | None = None  # [tag, buf, pending, sent]
         self._gathered: list[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]]] | None = None
         self._plan: frozenset[int] = frozenset()
         self._trial_active = False
@@ -205,34 +286,32 @@ class SamplerProgram(NodeProgram):
     # ------------------------------------------------------------------
     # convergecast plumbing
     # ------------------------------------------------------------------
+    # Conv state is a bare [tag, buf, pending, sent] list — this is the
+    # protocol's inner loop, so no dict hashing and no defensive buffer
+    # copies: callers hand `_conv_open` a fresh list, and after the
+    # single upward send a member never touches its buffer again.
     def _conv_open(self, ctx: Context, tag: str, own: list) -> None:
-        self._conv = {
-            "tag": tag,
-            "buf": list(own),
-            "pending": len(self._children),
-            "sent": False,
-        }
-        self._conv_try_send(ctx)
+        conv = self._conv = [tag, own, len(self._children), False]
+        if conv[2] == 0:
+            self._conv_send(ctx, conv)
 
     def _conv_receive(self, ctx: Context, tag: str, payload: Any) -> None:
         conv = self._conv
-        if conv is None or conv["tag"] != tag:
+        if conv is None or conv[0] != tag:
             raise ProtocolError(
                 f"unexpected {tag} convergecast at node {self._node}"
             )
-        conv["buf"].extend(payload)
-        conv["pending"] -= 1
-        self._conv_try_send(ctx)
+        conv[1].extend(payload)
+        conv[2] -= 1
+        if conv[2] == 0 and not conv[3]:
+            self._conv_send(ctx, conv)
 
-    def _conv_try_send(self, ctx: Context) -> None:
-        conv = self._conv
-        if conv is None or conv["sent"] or conv["pending"] > 0:
-            return
-        conv["sent"] = True
+    def _conv_send(self, ctx: Context, conv: list) -> None:
+        conv[3] = True
         if self._parent is not None:
-            ctx.send(self._parent, list(conv["buf"]), tag=conv["tag"])
+            ctx.send(self._parent, conv[1], tag=conv[0])
         else:
-            self._conv_complete(ctx, conv["tag"], conv["buf"])
+            self._conv_complete(ctx, conv[0], conv[1])
 
     def _conv_complete(self, ctx: Context, tag: str, buf: list) -> None:
         if tag == "gather":
@@ -357,11 +436,10 @@ class SamplerProgram(NodeProgram):
     def _leader_scatter(self, ctx: Context, level: int) -> None:
         if self._gathered is None:
             raise ProtocolError(f"leader {self._node} missing gather data")
-        counts: dict[int, int] = {}
+        counts: Counter[int] = Counter()
         dead: set[int] = set()
         for ports, dead_lists in self._gathered:
-            for eid in ports:
-                counts[eid] = counts.get(eid, 0) + 1
+            counts.update(ports)
             for payload in dead_lists:
                 dead.update(payload)
         live = tuple(sorted(e for e, c in counts.items() if c == 1 and e not in dead))
@@ -371,7 +449,7 @@ class SamplerProgram(NodeProgram):
             incident_edges=live,
             params=self._params,
             n=ctx.n_hint,
-            rng=self._rngf.stream("trials", level, self._cid),
+            rng=self._trials_rng.stream(level, self._cid),
         )
         self._stored_cid = self._cid
         self._stored_active = True
@@ -401,7 +479,7 @@ class SamplerProgram(NodeProgram):
     def _leader_status(self, ctx: Context, level: int) -> None:
         machine = self._require_machine()
         p_j = self._params.center_probability(level, ctx.n_hint)
-        self._center = self._rngf.uniform("center", level, self._cid) < p_j
+        self._center = self._center_rng.uniform(level, self._cid) < p_j
         self._f_items = tuple(sorted(machine.f_active.items()))
         self._register_status_wakes(ctx)
         payload = (self._center, self._cid, self._f_items)
@@ -429,15 +507,20 @@ class SamplerProgram(NodeProgram):
     # schedule-derived wake registration (active-set scheduling)
     # ------------------------------------------------------------------
     def _register_trial_wakes(self, ctx: Context, trial: int) -> None:
-        """A live trial means acting at its QUERY and COLLECT starts."""
-        level = self._phase.level
-        sched = self._schedule
-        ctx.wake_me_at(
-            (
-                sched.start_of(PhaseKind.QUERY, level, trial),
-                sched.start_of(PhaseKind.COLLECT, level, trial),
-            )
+        """A live trial means acting at its QUERY and COLLECT starts.
+
+        The QUERY wake exists only to send queries over owned plan
+        edges, so a member holding none skips it — its QUERY step is a
+        no-op under dense stepping too.  COLLECT is unconditional: every
+        member opens the collect convergecast there.
+        """
+        both, collect_only = self._schedule.trial_wake_rounds(
+            self._phase.level, trial
         )
+        if self._plan & self._ports:
+            ctx.wake_me_at(both)
+        else:
+            ctx.wake_me_at(collect_only)
 
     def _register_first_plan_wake(self, ctx: Context) -> None:
         """Leader only, at SCATTER: wake at PLAN of trial 1 iff a trial

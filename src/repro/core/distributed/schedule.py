@@ -101,6 +101,11 @@ class Schedule:
             or p.kind is PhaseKind.END
         )
         self._leader_rounds: dict[int, tuple[int, ...]] = {}
+        self._trial_wakes: dict[
+            tuple[int, int], tuple[tuple[int, int], tuple[int]]
+        ] = {}
+        self._memo_round = -1
+        self._memo_result: tuple[Phase, int] | None = None
 
     @classmethod
     def build(cls, params: SamplerParams) -> "Schedule":
@@ -136,12 +141,22 @@ class Schedule:
         return cls(phases)
 
     def phase_at(self, round_index: int) -> tuple[Phase, int]:
-        """The phase covering ``round_index`` and the relative round within it."""
+        """The phase covering ``round_index`` and the relative round within it.
+
+        One-slot memo: all nodes stepped in a synchronous round ask for
+        the same round, so a run does one bisect per *round* instead of
+        one per *step*.
+        """
+        if round_index == self._memo_round:
+            return self._memo_result
         if not 1 <= round_index <= self.total_rounds:
             raise ValueError(f"round {round_index} outside schedule")
         idx = bisect.bisect_right(self._starts, round_index) - 1
         phase = self._phases[idx]
-        return phase, round_index - phase.start
+        result = (phase, round_index - phase.start)
+        self._memo_round = round_index
+        self._memo_result = result
+        return result
 
     @property
     def phases(self) -> tuple[Phase, ...]:
@@ -209,6 +224,22 @@ class Schedule:
                 )
             )
             self._leader_rounds[level] = cached
+        return cached
+
+    def trial_wake_rounds(
+        self, level: int, trial: int
+    ) -> tuple[tuple[int, int], tuple[int]]:
+        """Shared wake tuples for a live ``(level, trial)``: the pair is
+        ``((QUERY start, COLLECT start), (COLLECT start,))`` — the first
+        for members owning plan edges, the second for everyone else.
+        Cached so every cluster member registers the same tuple objects.
+        """
+        cached = self._trial_wakes.get((level, trial))
+        if cached is None:
+            query = self.start_of(PhaseKind.QUERY, level, trial)
+            collect = self.start_of(PhaseKind.COLLECT, level, trial)
+            cached = ((query, collect), (collect,))
+            self._trial_wakes[(level, trial)] = cached
         return cached
 
     def rounds_bound(self, params: SamplerParams) -> int:

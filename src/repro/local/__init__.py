@@ -17,15 +17,25 @@ Public surface:
 * :class:`~repro.local.runtime.Runtime` — the synchronous round engine,
   producing a :class:`~repro.local.metrics.RunReport` with exact message
   and round counts.
+* :class:`~repro.local.engine.VectorRuntime` /
+  :class:`~repro.local.engine.VectorProgram` — the array-native round
+  engine for homogeneous populations (DESIGN.md §3.10), selected by
+  ``REPRO_ROUND_ENGINE`` / ``round_engine=``.
 * :class:`~repro.local.knowledge.Knowledge` — KT0 / EDGE_IDS / KT1.
 """
 
 from repro.local.edges import EdgeRef
+from repro.local.engine import (
+    VectorProgram,
+    VectorRuntime,
+    default_round_engine,
+    resolve_round_engine,
+)
 from repro.local.knowledge import Knowledge
 from repro.local.message import Inbound
 from repro.local.metrics import MessageStats, RunReport
 from repro.local.network import Network
-from repro.local.node import Context, NodeProgram
+from repro.local.node import Context, HybridPlane, NodeProgram
 from repro.local.runtime import Runtime
 from repro.local.faults import CORRUPTED, FaultPlan
 
@@ -34,6 +44,7 @@ __all__ = [
     "Context",
     "EdgeRef",
     "FaultPlan",
+    "HybridPlane",
     "Inbound",
     "Knowledge",
     "MessageStats",
@@ -41,4 +52,8 @@ __all__ = [
     "NodeProgram",
     "RunReport",
     "Runtime",
+    "VectorProgram",
+    "VectorRuntime",
+    "default_round_engine",
+    "resolve_round_engine",
 ]

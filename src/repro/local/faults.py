@@ -90,12 +90,17 @@ class FaultPlan:
     def is_noop(self) -> bool:
         """True when no message can ever be dropped or corrupted (the
         runtime skips the per-message coins entirely on this fast path)."""
-        return (
-            self.rule is None
-            and self.drop_probability == 0.0
-            and self.corrupt_rule is None
-            and self.corrupt_probability == 0.0
-        )
+        return not (self.can_drop or self.can_corrupt)
+
+    @property
+    def can_drop(self) -> bool:
+        """True when some message *could* drop (rule or nonzero coin)."""
+        return self.rule is not None or self.drop_probability > 0.0
+
+    @property
+    def can_corrupt(self) -> bool:
+        """True when some payload *could* be tampered with."""
+        return self.corrupt_rule is not None or self.corrupt_probability > 0.0
 
     def drops(self, round_index: int, eid: int, sender: int) -> bool:
         """Whether the message is lost.

@@ -65,6 +65,21 @@ class MessageStats:
         # Entries are (eid, sender, payload, tag) tuples; index 3 is the tag.
         self.by_tag.update(msg[3] for msg in msgs)
 
+    def record_uniform(self, tag: str, count: int) -> None:
+        """Meter ``count`` deliveries that all share one ``tag``.
+
+        Exactly equivalent to ``count`` calls to :meth:`record` — the
+        vector round engine's populations are single-tag, so one integer
+        add replaces per-message Counter updates entirely.
+        """
+        if not count:
+            return
+        self.total += count
+        self.by_tag[tag] += count
+        if not self.per_round:
+            self.per_round.append(0)
+        self.per_round[-1] += count
+
     def record_drop(self) -> None:
         self.dropped += 1
 

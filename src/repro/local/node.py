@@ -33,13 +33,55 @@ from __future__ import annotations
 import heapq
 import random
 from abc import ABC, abstractmethod
-from typing import Any, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, Iterable, Sequence
 
 from repro.errors import ProtocolError
 from repro.local.knowledge import Knowledge
 from repro.local.message import Inbound, Outbound
 
-__all__ = ["Context", "NodeProgram"]
+__all__ = ["Context", "HybridPlane", "NodeProgram"]
+
+
+@dataclass(frozen=True)
+class HybridPlane:
+    """Declares that one message tag can be serviced at delivery time.
+
+    Under the vector round engine (DESIGN.md §3.10) a program class may
+    publish ``hybrid_planes``: a mapping from message tag to a plane
+    describing the *entire* effect that delivering such a message has on
+    its receiver.  The runtime then handles those messages inline during
+    delivery — appending an entry to a program attribute and/or queueing
+    a fixed-shape reply — without stepping the receiver at all, which
+    turns the protocol's hottest point-to-point rounds into array-sweep
+    work over the in-flight list.
+
+    Declaring a plane is a correctness contract, checked by the engine
+    equality suite:
+
+    * the reference dispatch of the tag does exactly the declared absorb
+      append and/or reply send — no other state change, no wake
+      declarations;
+    * the phase action of every round in which the tag can arrive is a
+      no-op for receivers that were woken *only* by these messages (or
+      the receiver independently holds a wake for that round);
+    * replies read attributes that no other node's step in the same
+      round can mutate.
+
+    ``entry`` selects the absorbed item's layout: ``"port_first"`` is
+    ``(port,) + payload``, ``"port_last"`` is ``payload + (port,)``, and
+    ``"payload0"`` is ``tuple(payload[0])``.  Halted receivers ignore
+    the message unless they are reactive and the matching
+    ``*_reactive`` flag is set — mirroring the eligibility rule the
+    scheduler applies before stepping a halted node.
+    """
+
+    absorb_into: str | None = None
+    entry: str = "port_first"
+    absorb_reactive: bool = False
+    respond_tag: str | None = None
+    respond_attrs: tuple[str, ...] = ()
+    respond_reactive: bool = False
 
 
 class Context:
@@ -54,6 +96,7 @@ class Context:
         "_knowledge",
         "_n_hint",
         "_rng",
+        "_rng_factory",
         "_outbox",
         "_halted",
         "_reactive",
@@ -72,12 +115,16 @@ class Context:
         neighbor_by_eid: dict[int, int],
         knowledge: Knowledge,
         n_hint: int,
-        rng: random.Random,
+        rng: "random.Random | Callable[[], random.Random]",
     ) -> None:
         self._node = node
         self._knowledge = knowledge
         self._n_hint = n_hint
-        self._rng = rng
+        # A callable defers the stream derivation to first use: programs
+        # that never draw (the distributed Sampler keys its randomness
+        # off cluster ids, not nodes) skip the per-node hash entirely.
+        self._rng = None if callable(rng) else rng
+        self._rng_factory = rng if callable(rng) else None
         self._neighbor_by_eid = neighbor_by_eid
         if knowledge is Knowledge.KT0:
             self._port_to_eid = dict(enumerate(eids))
@@ -122,6 +169,8 @@ class Context:
     @property
     def rng(self) -> random.Random:
         """This node's private, reproducible randomness stream."""
+        if self._rng is None:
+            self._rng = self._rng_factory()
         return self._rng
 
     @property
@@ -267,6 +316,16 @@ class Context:
 
 class NodeProgram(ABC):
     """Base class for synchronous LOCAL node programs."""
+
+    # Empty slots keep the base dict-free so subclasses may opt into
+    # __slots__ for dense attribute access; subclasses that don't still
+    # get an instance dict as usual.
+    __slots__ = ()
+
+    #: Optional tag -> :class:`HybridPlane` map enabling hybrid rounds
+    #: under the vector engine; ``None`` keeps every delivery on the
+    #: per-node dispatch path.
+    hybrid_planes: ClassVar[dict[str, HybridPlane] | None] = None
 
     def on_start(self, ctx: Context) -> None:
         """Round-0 hook; override to initialize state and send first messages."""

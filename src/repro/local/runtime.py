@@ -32,15 +32,15 @@ Two schedulers drive the rounds (DESIGN.md §3.6):
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import SimulationError
+from repro.local.engine import resolve_round_engine
 from repro.local.faults import CORRUPTED, FaultPlan
 from repro.local.message import Inbound, Outbound
 from repro.local.metrics import MessageStats, RunReport
 from repro.local.network import Network
-from repro.local.node import Context, NodeProgram
+from repro.local.node import Context, HybridPlane, NodeProgram
 from repro.rng import RngFactory
 
 __all__ = ["Runtime", "ProgramFactory", "SCHEDULERS"]
@@ -84,6 +84,7 @@ class Runtime:
         n_hint: int | None = None,
         faults: FaultPlan | None = None,
         scheduler: str = "active",
+        engine: str | None = None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise ValueError(
@@ -114,7 +115,9 @@ class Runtime:
                 neighbor_by_eid=neighbor_by_eid,
                 knowledge=network.knowledge,
                 n_hint=self._n_hint,
-                rng=node_rng.stream(node),
+                # Deferred: the stream hash is paid only if the program
+                # actually draws from ctx.rng (same stream either way).
+                rng=lambda node=node: node_rng.stream(node),
             )
             self._contexts.append(ctx)
             self._programs.append(program_factory(node))
@@ -132,6 +135,23 @@ class Runtime:
                 contexts[u]._port_of(eid),
                 contexts[v]._port_of(eid),
             )
+        # Hybrid rounds (DESIGN.md §3.10): under the vector engine a
+        # homogeneous population whose program class declares
+        # HybridPlanes gets its plane-tagged messages serviced during
+        # delivery instead of by stepping the receivers.  Corrupt-capable
+        # plans disable the planes — a tampered payload has no declared
+        # effect, only the per-node dispatch defines its error behavior.
+        self._engine = resolve_round_engine(engine)
+        self._planes: dict[str, HybridPlane] | None = None
+        if (
+            self._engine == "vector"
+            and not self._faults.can_corrupt
+            and self._programs
+        ):
+            cls = type(self._programs[0])
+            planes = getattr(cls, "hybrid_planes", None)
+            if planes and all(type(p) is cls for p in self._programs):
+                self._planes = planes
 
     @property
     def network(self) -> Network:
@@ -249,9 +269,12 @@ class Runtime:
         # instead of the dense scheduler's per-round _all_halted scan.
         live = 0
         running: set[int] = set()
-        wake_heap: list[tuple[int, int]] = []
-        # The heap uses lazy deletion: next_wake[v] names v's one live
-        # entry; any other (round, v) in the heap is stale and skipped.
+        # Wake entries live in per-round buckets rather than one global
+        # heap: the loop visits every round index exactly once in order,
+        # so popping the current bucket replaces ~2 log n heap ops per
+        # wake with a dict pop.  Lazy deletion: next_wake[v] names v's
+        # one live entry; entries in other buckets are stale and skipped.
+        wake_buckets: dict[int, list[int]] = {}
         next_wake: list[int | None] = [None] * n
         for node in network.nodes():
             ctx = contexts[node]
@@ -261,7 +284,10 @@ class Runtime:
             if ctx._sleeping:
                 nxt = ctx._next_wake_after(0)
                 if nxt is not None:
-                    heapq.heappush(wake_heap, (nxt, node))
+                    bucket = wake_buckets.get(nxt)
+                    if bucket is None:
+                        bucket = wake_buckets[nxt] = []
+                    bucket.append(node)
                     next_wake[node] = nxt
             else:
                 running.add(node)
@@ -274,6 +300,7 @@ class Runtime:
 
         rounds = 0
         route = self._route
+        planes = self._planes
         while True:
             if fixed is not None:
                 if rounds >= fixed:
@@ -288,26 +315,83 @@ class Runtime:
             rounds += 1
             stats.open_round()
             inboxes: dict[int, list[Inbound]] = {}
-            for eid, sender, payload, tag in in_flight:
-                u, v, port_u, port_v = route[eid]
-                if sender == u:
-                    receiver, port = v, port_v
-                else:
-                    receiver, port = u, port_u
-                box = inboxes.get(receiver)
-                if box is None:
-                    box = inboxes[receiver] = []
-                box.append(Inbound(port, payload, tag))
+            responders: "set[int] | tuple" = ()
+            if planes is None:
+                for eid, sender, payload, tag in in_flight:
+                    u, v, port_u, port_v = route[eid]
+                    if sender == u:
+                        receiver, port = v, port_v
+                    else:
+                        receiver, port = u, port_u
+                    box = inboxes.get(receiver)
+                    if box is None:
+                        box = inboxes[receiver] = []
+                    box.append(Inbound(port, payload, tag))
+            else:
+                responders = set()
+                # Hybrid delivery: plane-tagged messages are absorbed /
+                # answered right here, in in-flight order — the same
+                # order the receiver's dispatch loop would see — and
+                # never reach an inbox.  Everything happens *before* any
+                # node steps, exactly where the reference engine's
+                # dispatch-before-act places it, and eligibility mirrors
+                # the scheduler's halted/reactive stepping guard.
+                planes_get = planes.get
+                for eid, sender, payload, tag in in_flight:
+                    u, v, port_u, port_v = route[eid]
+                    if sender == u:
+                        receiver, port = v, port_v
+                    else:
+                        receiver, port = u, port_u
+                    plane = planes_get(tag)
+                    if plane is not None:
+                        ctx = contexts[receiver]
+                        if ctx._halted:
+                            if not ctx._reactive:
+                                continue
+                            may_absorb = plane.absorb_reactive
+                            may_respond = plane.respond_reactive
+                        else:
+                            may_absorb = may_respond = True
+                        attr = plane.absorb_into
+                        if attr is not None and may_absorb:
+                            kind = plane.entry
+                            if kind == "port_first":
+                                item = (port,) + payload
+                            elif kind == "port_last":
+                                item = payload + (port,)
+                            else:
+                                item = tuple(payload[0])
+                            # getattr per message: handlers may rebind
+                            # the buffer between rounds (level resets).
+                            getattr(programs[receiver], attr).append(item)
+                        if plane.respond_tag is not None and may_respond:
+                            prog = programs[receiver]
+                            reply = tuple(
+                                [getattr(prog, a) for a in plane.respond_attrs]
+                            )
+                            # The reply goes back over the same edge, so
+                            # the outbox entry reuses the known eid.
+                            ctx._outbox.append(
+                                (eid, receiver, reply, plane.respond_tag)
+                            )
+                            responders.add(receiver)
+                        continue
+                    box = inboxes.get(receiver)
+                    if box is None:
+                        box = inboxes[receiver] = []
+                    box.append(Inbound(port, payload, tag))
             if running:
                 extra = {node for node in inboxes if node not in running}
             else:
                 extra = set(inboxes)
-            while wake_heap and wake_heap[0][0] <= rounds:
-                wake_round, node = heapq.heappop(wake_heap)
-                if next_wake[node] == wake_round:
-                    next_wake[node] = None
-                    if node not in running:
-                        extra.add(node)
+            due = wake_buckets.pop(rounds, None)
+            if due is not None:
+                for node in due:
+                    if next_wake[node] == rounds:
+                        next_wake[node] = None
+                        if node not in running:
+                            extra.add(node)
             if running_dirty:
                 running_sorted = sorted(running)
                 running_dirty = False
@@ -345,7 +429,10 @@ class Runtime:
                         ctx._wake_dirty = False
                         nxt = ctx._next_wake_after(rounds)
                         if nxt is not None and next_wake[node] != nxt:
-                            heapq.heappush(wake_heap, (nxt, node))
+                            bucket = wake_buckets.get(nxt)
+                            if bucket is None:
+                                bucket = wake_buckets[nxt] = []
+                            bucket.append(node)
                             next_wake[node] = nxt
                 elif node not in running:
                     running.add(node)
@@ -357,7 +444,18 @@ class Runtime:
                 break
             # Only stepped nodes can have queued sends, and `stepped` is
             # ascending, so collection order matches the dense loop.
-            in_flight = self._collect(stats, round_index=rounds, nodes=stepped)
+            # Plane responders that were not stepped hold queued replies
+            # too; merging them in keeps the drain order ascending.
+            drain = stepped
+            if responders:
+                resp_only = sorted(
+                    node
+                    for node in responders
+                    if node not in running and node not in extra
+                )
+                if resp_only:
+                    drain = _merge_sorted(stepped, resp_only)
+            in_flight = self._collect(stats, round_index=rounds, nodes=drain)
 
         outputs = {
             node: programs[node].output() for node in network.nodes()
@@ -384,14 +482,22 @@ class Runtime:
             if nodes is None
             else [all_contexts[node] for node in nodes]
         )
-        if faults.is_noop:
-            # Fault-free fast path: nothing can be dropped, so whole
-            # outboxes move in one extend and metering happens per round
-            # (record_batch) instead of per message.
+        if not faults.can_drop:
+            # Batched path for noop *and* corrupt-only plans: nothing
+            # can be dropped, so whole outboxes move in one extend and
+            # metering happens per round (record_batch) instead of per
+            # message; corruption — which keeps the envelope and the
+            # delivery — is an in-place payload swap over the batch.
             for ctx in contexts:
                 if ctx._outbox:
                     queued.extend(ctx._outbox)
                     ctx._outbox = []
+            if faults.can_corrupt:
+                corrupts = faults.corrupts
+                for i, (eid, sender, _payload, tag) in enumerate(queued):
+                    if corrupts(round_index, eid, sender):
+                        stats.record_corrupt()
+                        queued[i] = (eid, sender, CORRUPTED, tag)
             stats.record_batch(queued)
             return queued
         for ctx in contexts:
@@ -428,6 +534,7 @@ def run_program(
     n_hint: int | None = None,
     faults: FaultPlan | None = None,
     scheduler: str = "active",
+    engine: str | None = None,
 ) -> RunReport:
     """Convenience wrapper: build a :class:`Runtime` and run it."""
     runtime = Runtime(
@@ -439,5 +546,6 @@ def run_program(
         n_hint=n_hint,
         faults=faults,
         scheduler=scheduler,
+        engine=engine,
     )
     return runtime.run()

@@ -73,7 +73,10 @@ class SimulationRequest:
     silently honoured).  ``radius`` overrides the flood radius
     ``alpha * t`` the same way it does on
     :func:`~repro.simulate.transformer.simulate_over_spanner`.
-    ``faults`` requires ``engine="runtime"``.  ``allow_stale`` opts the
+    ``faults`` requires ``engine="runtime"``.  ``round_engine`` selects
+    the round engine backing every kernel execution of the serve
+    (``"vector"``/``"reference"``, DESIGN.md §3.10) — responses are
+    identical either way.  ``allow_stale`` opts the
     request into degraded answers: when the requested graph's spanner is
     not cached but a cached churn *ancestor* is, the service serves the
     ancestor's graph outright (marked ``"stale"`` in the response) —
@@ -90,6 +93,7 @@ class SimulationRequest:
     engine: str = "fast"
     scheduler: str = "active"
     distance_engine: str | None = None
+    round_engine: str | None = None
     faults: FaultPlan | None = None
     allow_stale: bool = False
 
@@ -384,6 +388,7 @@ class SimulationService:
                 request.engine,
                 request.scheduler,
                 request.distance_engine,
+                request.round_engine,
                 request.faults,
                 request.allow_stale,
             )
@@ -439,6 +444,7 @@ class SimulationService:
             engine=request.engine,
             scheduler=request.scheduler,
             distance_engine=request.distance_engine,
+            round_engine=request.round_engine,
             schedule=schedule,
             faults=request.faults,
         )
@@ -491,7 +497,10 @@ class SimulationService:
                     return repaired, FetchInfo("repaired")
             known = fingerprint in self._served or fingerprint in self._lineage
             spanner, info = self.store.fetch_spanner(
-                network, params, scheduler=request.scheduler
+                network,
+                params,
+                scheduler=request.scheduler,
+                round_engine=request.round_engine,
             )
             if info.source == "built" and known:
                 self.metrics.rebuilds += 1

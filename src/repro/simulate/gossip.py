@@ -21,11 +21,22 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
+from repro.local.engine import (
+    PopulationInbox,
+    PopulationOutbox,
+    VectorProgram,
+    VectorRuntime,
+    resolve_round_engine,
+)
+from repro.local.faults import CORRUPTED, FaultPlan
 from repro.local.message import Inbound
 from repro.local.metrics import MessageStats
 from repro.local.network import Network
 from repro.local.node import Context, NodeProgram
 from repro.local.runtime import run_program
+from repro.rng import RngFactory
 
 __all__ = ["GossipEstimate", "gossip_estimate", "PushPullGossip", "run_push_pull"]
 
@@ -66,6 +77,10 @@ class PushPullGossip(NodeProgram):
 
     def on_round(self, ctx: Context, inbox: Sequence[Inbound]) -> None:
         for msg in inbox:
+            if msg.payload is CORRUPTED:
+                # Garbage in flight: nothing to learn, nothing to answer
+                # (a tampered push is indistinguishable from a reply).
+                continue
             kind, items = msg.payload
             self._known.update(items)
             if kind == "push-pull":
@@ -82,6 +97,118 @@ class PushPullGossip(NodeProgram):
         ctx.send(partner, ("push-pull", tuple(self._known)), tag="gossip")
 
 
+class _VectorGossip(VectorProgram):
+    """Bitset population equivalent of :class:`PushPullGossip`.
+
+    Known sets are Python big-int bitsets: one ``|`` is a single C-level
+    word-wise union, and because ints are immutable the mid-inbox reply
+    snapshot the reference builds through mutation is just the running
+    value — no per-message copies.  Partner draws replay the reference
+    coin stream exactly (one ``randrange(deg)`` on the node's
+    ``"node"``-prefixed stream per live node per round), and each
+    receiver's inbox segment is digested *sequentially* in delivery
+    order, so replies carry exactly the reference's prefix unions.
+    """
+
+    tag = "gossip"
+
+    def __init__(self, network: Network, seed: int) -> None:
+        n = network.n
+        self._n = n
+        indptr, inc = network.incidence_csr()
+        indptr_list = np.frombuffer(indptr, dtype=np.int64).tolist()
+        inc_list = np.frombuffer(inc, dtype=np.int64).tolist()
+        self._known: list[int] = [1 << v for v in range(n)]
+        self._ports: list[list[int]] = [
+            inc_list[indptr_list[v] : indptr_list[v + 1]] for v in range(n)
+        ]
+        self._live_nodes = [v for v in range(n) if self._ports[v]]
+        node_rng = RngFactory(seed).prefix("node")
+        self._rngs = {v: node_rng.stream(v) for v in self._live_nodes}
+
+    def _push_of(self, node: int) -> int:
+        ports = self._ports[node]
+        return ports[self._rngs[node].randrange(len(ports))]
+
+    def on_start(self) -> PopulationOutbox | None:
+        if not self._live_nodes:
+            return None
+        known = self._known
+        eids = [self._push_of(v) for v in self._live_nodes]
+        payloads = [known[v] for v in self._live_nodes]
+        return PopulationOutbox(
+            eids=np.asarray(eids, dtype=np.int64),
+            senders=np.asarray(self._live_nodes, dtype=np.int64),
+            data=(payloads, [True] * len(eids)),
+        )
+
+    def step_population(
+        self, round_index: int, inbox: PopulationInbox
+    ) -> PopulationOutbox | None:
+        if not self._live_nodes:
+            return None
+        in_payloads, in_push = (
+            inbox.data if inbox.data is not None else ([], [])
+        )
+        known = self._known
+        indptr = inbox.indptr.tolist()
+        rows = inbox.rows.tolist()
+        eids = inbox.eids.tolist()
+        corrupted = inbox.corrupted.tolist()
+        out_eids: list[int] = []
+        out_senders: list[int] = []
+        out_payloads: list[int] = []
+        out_push: list[bool] = []
+        for v in self._live_nodes:
+            row_v = known[v]
+            for i in range(indptr[v], indptr[v + 1]):
+                if corrupted[i]:
+                    continue
+                row = rows[i]
+                row_v |= in_payloads[row]
+                if in_push[row]:
+                    # Reply with the known set *as of this message* —
+                    # the reference sends mid-inbox-loop snapshots.
+                    out_eids.append(eids[i])
+                    out_senders.append(v)
+                    out_payloads.append(row_v)
+                    out_push.append(False)
+            known[v] = row_v
+            out_eids.append(self._push_of(v))
+            out_senders.append(v)
+            out_payloads.append(row_v)
+            out_push.append(True)
+        return PopulationOutbox(
+            eids=np.asarray(out_eids, dtype=np.int64),
+            senders=np.asarray(out_senders, dtype=np.int64),
+            data=(out_payloads, out_push),
+        )
+
+    def outputs(self) -> dict[int, frozenset[int]]:
+        n = self._n
+        nbytes = (n + 7) // 8
+        # One frozenset per *distinct* known set: after a few rounds
+        # most nodes converge to the same (often full) set, and boxing
+        # members per node would dominate the whole run.
+        cache: dict[int, frozenset[int]] = {}
+        out: dict[int, frozenset[int]] = {}
+        for v in range(n):
+            k = self._known[v]
+            fs = cache.get(k)
+            if fs is None:
+                packed = np.frombuffer(
+                    k.to_bytes(nbytes, "little"), dtype=np.uint8
+                )
+                bits = np.unpackbits(packed, bitorder="little")[:n]
+                fs = cache[k] = frozenset(np.flatnonzero(bits).tolist())
+            out[v] = fs
+        return out
+
+    @property
+    def live(self) -> int:
+        return len(self._live_nodes)
+
+
 @dataclass(frozen=True)
 class PushPullReport:
     coverage: float  # fraction of (node, t-ball member) pairs delivered
@@ -90,19 +217,36 @@ class PushPullReport:
 
 
 def run_push_pull(
-    network: Network, rounds: int, t: int, seed: int = 0, *, scheduler: str = "active"
+    network: Network,
+    rounds: int,
+    t: int,
+    seed: int = 0,
+    *,
+    scheduler: str = "active",
+    round_engine: str | None = None,
+    faults: FaultPlan | None = None,
 ) -> PushPullReport:
     """Run push–pull for ``rounds`` rounds; measure ``t``-ball coverage."""
     from repro.graphs.distance import balls_and_eccentricities
 
-    report = run_program(
-        network,
-        lambda node: PushPullGossip(node),
-        seed=seed,
-        fixed_rounds=rounds,
-        max_rounds=rounds + 1,
-        scheduler=scheduler,
-    )
+    if resolve_round_engine(round_engine) == "vector":
+        report = VectorRuntime(
+            network,
+            _VectorGossip(network, seed),
+            fixed_rounds=rounds,
+            max_rounds=rounds + 1,
+            faults=faults,
+        ).run()
+    else:
+        report = run_program(
+            network,
+            lambda node: PushPullGossip(node),
+            seed=seed,
+            fixed_rounds=rounds,
+            max_rounds=rounds + 1,
+            faults=faults,
+            scheduler=scheduler,
+        )
     balls, _ = balls_and_eccentricities(network, t)
     delivered = 0
     required = 0

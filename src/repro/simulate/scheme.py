@@ -96,6 +96,7 @@ def run_one_stage(
     engine: str = "fast",
     scheduler: str = "active",
     distance_engine: str | None = None,
+    round_engine: str | None = None,
     store=None,
 ) -> SchemeReport:
     """Simulate ``algo`` with the spanner-based scheme, metering both stages.
@@ -109,7 +110,9 @@ def run_one_stage(
     construction stage and, under ``engine="runtime"``, the simulated
     flood; ``"dense"`` is the step-everyone baseline (DESIGN.md §3.6).
     ``distance_engine`` selects the fast path's distance plane
-    (DESIGN.md §3.7); every combination produces identical reports.
+    (DESIGN.md §3.7) and ``round_engine`` the round engine backing
+    every kernel execution (DESIGN.md §3.10); every combination
+    produces identical reports.
 
     ``store`` (an :class:`~repro.store.ArtifactStore`, or ``None`` for
     the ``REPRO_STORE``-driven process default) reuses the
@@ -123,9 +126,16 @@ def run_one_stage(
 
     active_store = resolve_store(store)
     if active_store is not None:
-        spanner = active_store.spanner(network, sampler_params, scheduler=scheduler)
+        spanner = active_store.spanner(
+            network,
+            sampler_params,
+            scheduler=scheduler,
+            round_engine=round_engine,
+        )
     else:
-        spanner = build_spanner_distributed(network, sampler_params, scheduler=scheduler)
+        spanner = build_spanner_distributed(
+            network, sampler_params, scheduler=scheduler, engine=round_engine
+        )
     simulation = simulate_over_spanner(
         network,
         spanner.edges,
@@ -135,6 +145,7 @@ def run_one_stage(
         engine=engine,
         scheduler=scheduler,
         distance_engine=distance_engine,
+        round_engine=round_engine,
         store=active_store,
     )
     return SchemeReport(outputs=simulation.outputs, spanner=spanner, simulation=simulation)

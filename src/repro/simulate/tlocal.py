@@ -39,7 +39,18 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.graphs.distance import BallFamily, balls_and_eccentricities
+from repro.local.engine import (
+    PopulationInbox,
+    PopulationOutbox,
+    VectorProgram,
+    VectorRuntime,
+    broadcast_outbox,
+    resolve_round_engine,
+)
+from repro.local.faults import CORRUPTED
 from repro.local.message import Inbound
 from repro.local.metrics import MessageStats
 from repro.local.network import Network
@@ -128,6 +139,10 @@ class _FloodProgram(NodeProgram):
     def on_round(self, ctx: Context, inbox: Sequence[Inbound]) -> None:
         fresh: list[tuple[int, Any]] = []
         for msg in inbox:
+            if msg.payload is CORRUPTED:
+                # A tampered bundle carries nothing recoverable; it was
+                # delivered (and metered) but contributes no items.
+                continue
             for origin, payload in msg.payload:
                 if origin not in self._known:
                     self._known[origin] = payload
@@ -139,6 +154,103 @@ class _FloodProgram(NodeProgram):
 
     def output(self) -> dict[int, Any]:
         return dict(self._known)
+
+
+class _VectorFlood(VectorProgram):
+    """Bitset population equivalent of :class:`_FloodProgram`.
+
+    Per-node knowledge is one row of an ``(n, ceil(n/64))`` uint64
+    matrix; a round is a segment-OR of the senders' last bundles into
+    each receiver, one ``& ~known`` for freshness, and one broadcast
+    outbox over the emitters' ports.  Payload identity is implicit:
+    ``fresh[sender]`` at delivery time *is* the bundle the reference
+    program would have packed, so messages carry no data columns.
+    """
+
+    tag = "flood"
+
+    def __init__(
+        self, network: Network, payload_of: Callable[[int], Any], rounds: int
+    ) -> None:
+        n = network.n
+        self._n = n
+        self._payloads = [payload_of(v) for v in range(n)]
+        self._rounds = rounds
+        indptr, inc = network.incidence_csr()
+        self._indptr = np.frombuffer(indptr, dtype=np.int64)
+        self._inc = np.frombuffer(inc, dtype=np.int64)
+        words = (n + 63) // 64
+        self._known = np.zeros((n, words), dtype=np.uint64)
+        idx = np.arange(n, dtype=np.int64)
+        self._known[idx, idx >> 6] = np.uint64(1) << (idx & 63).astype(np.uint64)
+        # The bundle each node put in its most recent emission; stale
+        # rows are never read (only emitters appear as senders).
+        self._fresh = self._known.copy()
+        self._live = 0 if rounds <= 0 else n
+
+    def on_start(self) -> PopulationOutbox | None:
+        if self._rounds <= 0:
+            return None
+        return broadcast_outbox(
+            self._indptr, self._inc, np.arange(self._n, dtype=np.int64)
+        )
+
+    def step_population(
+        self, round_index: int, inbox: PopulationInbox
+    ) -> PopulationOutbox | None:
+        counts = np.diff(inbox.indptr)
+        receivers = np.repeat(
+            np.arange(self._n, dtype=np.int64), counts
+        )
+        ok = ~inbox.corrupted
+        senders = inbox.senders[ok]
+        if senders.size == 0:
+            return None
+        receivers = receivers[ok]
+        starts = np.flatnonzero(
+            np.r_[True, receivers[1:] != receivers[:-1]]
+        )
+        orred = np.bitwise_or.reduceat(self._fresh[senders], starts, axis=0)
+        uniq = receivers[starts]
+        new = orred & ~self._known[uniq]
+        emit_sel = (new != 0).any(axis=1)
+        if not emit_sel.any():
+            return None
+        self._known[uniq] |= new
+        emitters = uniq[emit_sel]
+        self._fresh[emitters] = new[emit_sel]
+        return broadcast_outbox(self._indptr, self._inc, emitters)
+
+    def outputs(self) -> dict[int, dict[int, Any]]:
+        n = self._n
+        payloads = self._payloads
+        # Dedup identical balls first: past the saturation radius most
+        # rows converge to the same component bitset, and nodes with
+        # equal balls can share one payload dict (treat outputs as
+        # read-only).  Then one whole-matrix nonzero + one bulk tolist
+        # and dicts from C zips — per-node flatnonzero with per-element
+        # numpy boxing would dominate the run once balls approach n.
+        uniq, inverse = np.unique(self._known, axis=0, return_inverse=True)
+        bits = np.unpackbits(
+            uniq.view(np.uint8), axis=1, bitorder="little"
+        )[:, :n]
+        owners, members = np.nonzero(bits)
+        ends = np.cumsum(
+            np.bincount(owners, minlength=uniq.shape[0])
+        ).tolist()
+        members_list = members.tolist()
+        dicts: list[dict[int, Any]] = []
+        start = 0
+        for end in ends:
+            seg = members_list[start:end]
+            dicts.append(dict(zip(seg, map(payloads.__getitem__, seg))))
+            start = end
+        inv = inverse.tolist()
+        return {v: dicts[inv[v]] for v in range(n)}
+
+    @property
+    def live(self) -> int:
+        return self._live
 
 
 def flood_schedule(
@@ -216,6 +328,7 @@ def t_local_broadcast(
     engine: str = "fast",
     scheduler: str = "active",
     distance_engine: str | None = None,
+    round_engine: str | None = None,
     faults=None,
     store=None,
 ) -> FloodReport:
@@ -241,15 +354,27 @@ def t_local_broadcast(
     if engine not in FLOOD_ENGINES:
         raise ValueError(f"unknown flood engine {engine!r}; expected one of {FLOOD_ENGINES}")
     if engine == "runtime":
-        report = run_program(
-            spanner,
-            lambda node: _FloodProgram(node, payload_of(node), radius),
-            seed=seed,
-            fixed_rounds=radius,
-            max_rounds=radius + 1,
-            faults=faults,
-            scheduler=scheduler,
-        )
+        if resolve_round_engine(round_engine) == "vector":
+            # Flooding is seed-free and single-tag: the bitset
+            # population is RunReport-identical to the per-node
+            # program under every scheduler, fault plan included.
+            report = VectorRuntime(
+                spanner,
+                _VectorFlood(spanner, payload_of, radius),
+                fixed_rounds=radius,
+                max_rounds=radius + 1,
+                faults=faults,
+            ).run()
+        else:
+            report = run_program(
+                spanner,
+                lambda node: _FloodProgram(node, payload_of(node), radius),
+                seed=seed,
+                fixed_rounds=radius,
+                max_rounds=radius + 1,
+                faults=faults,
+                scheduler=scheduler,
+            )
         return FloodReport(
             collected=report.outputs,
             messages=report.messages,

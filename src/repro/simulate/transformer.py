@@ -87,6 +87,7 @@ def simulate_over_spanner(
     engine: str = "fast",
     scheduler: str = "active",
     distance_engine: str | None = None,
+    round_engine: str | None = None,
     schedule: FloodSchedule | None = None,
     faults=None,
     store=None,
@@ -98,6 +99,10 @@ def simulate_over_spanner(
     identical outcomes (DESIGN.md §3.6).  ``distance_engine`` selects
     the fast path's distance plane (``"vector"``/``"reference"``,
     DESIGN.md §3.7) — again outcome-identical either way.
+    ``round_engine`` selects the round engine (DESIGN.md §3.10): under
+    ``engine="runtime"`` it picks the flood's execution backend, under
+    ``engine="fast"`` it picks the shared replay's backend — identical
+    outcomes in all four combinations.
 
     ``schedule`` lets a caller that already holds this spanner's
     :class:`FloodSchedule` at exactly the flood radius (the simulation
@@ -120,6 +125,7 @@ def simulate_over_spanner(
             seed=seed,
             engine="runtime",
             scheduler=scheduler,
+            round_engine=round_engine,
             faults=faults,
         )
         outputs = {
@@ -158,7 +164,13 @@ def simulate_over_spanner(
             f"this simulation floods radius {flood_radius}"
         )
     outputs = _replay_shared(
-        network, algo, t, seed, schedule, engine=distance_engine
+        network,
+        algo,
+        t,
+        seed,
+        schedule,
+        engine=distance_engine,
+        round_engine=round_engine,
     )
     return SimulationOutcome(
         outputs=outputs,
@@ -177,6 +189,7 @@ def _replay_shared(
     schedule: FloodSchedule,
     *,
     engine: str | None = None,
+    round_engine: str | None = None,
 ) -> dict[int, Any]:
     """One global replay serving every center whose ball is covered.
 
@@ -245,7 +258,11 @@ def _replay_shared(
 
     # The global replay serves the covered centers; skip it when the
     # flood covered nobody (every output would be overwritten below).
-    outputs = {} if len(uncovered) == n else run_inprocess(network, algo, seed)
+    outputs = (
+        {}
+        if len(uncovered) == n
+        else run_inprocess(network, algo, seed, round_engine=round_engine)
+    )
     for center in uncovered:
         reports = {x: network.incident(x) for x in family[center]}
         outputs[center] = replay_ball(algo, center, reports, t, seed, n)

@@ -91,6 +91,7 @@ def run_two_stage(
     engine: str = "fast",
     scheduler: str = "active",
     distance_engine: str | None = None,
+    round_engine: str | None = None,
     store=None,
 ) -> TwoStageReport:
     """Run the full two-stage pipeline, metering every stage.
@@ -102,7 +103,9 @@ def run_two_stage(
     (stage-1 construction and, under ``engine="runtime"``, both
     simulated floods); ``"dense"`` is the baseline (DESIGN.md §3.6).
     ``distance_engine`` selects the fast path's distance plane
-    (DESIGN.md §3.7); every combination produces identical reports.
+    (DESIGN.md §3.7) and ``round_engine`` the round engine backing
+    every kernel execution (DESIGN.md §3.10); every combination
+    produces identical reports.
 
     ``store`` (or the ``REPRO_STORE`` process default) caches the
     payload-independent artifacts of *all three* stages: the ``H1``
@@ -116,9 +119,16 @@ def run_two_stage(
 
     active_store = resolve_store(store)
     if active_store is not None:
-        stage1 = active_store.spanner(network, stage1_params, scheduler=scheduler)
+        stage1 = active_store.spanner(
+            network,
+            stage1_params,
+            scheduler=scheduler,
+            round_engine=round_engine,
+        )
     else:
-        stage1 = build_spanner_distributed(network, stage1_params, scheduler=scheduler)
+        stage1 = build_spanner_distributed(
+            network, stage1_params, scheduler=scheduler, engine=round_engine
+        )
 
     stage2_algo = BaswanaSenLocal(k=stage2_k, coin_seed=seed)
     stage2_sim = simulate_over_spanner(
@@ -130,6 +140,7 @@ def run_two_stage(
         engine=engine,
         scheduler=scheduler,
         distance_engine=distance_engine,
+        round_engine=round_engine,
         store=active_store,
     )
     stage2_edges: set[int] = set()
@@ -145,6 +156,7 @@ def run_two_stage(
         engine=engine,
         scheduler=scheduler,
         distance_engine=distance_engine,
+        round_engine=round_engine,
         store=active_store,
     )
     return TwoStageReport(

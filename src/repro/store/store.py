@@ -193,13 +193,15 @@ class ArtifactStore:
         params: SamplerParams,
         *,
         scheduler: str = "active",
+        round_engine: str | None = None,
     ) -> tuple[SpannerResult, FetchInfo]:
         """Get-or-build the distributed ``Sampler`` construction.
 
-        ``scheduler`` is forwarded to the builder on a miss but is not
-        part of the key: active and dense produce identical
-        ``RunReport``s (the DESIGN.md §3.6 equivalence contract), so a
-        hit under either scheduler is exact.
+        ``scheduler`` and ``round_engine`` are forwarded to the builder
+        on a miss but are not part of the key: every scheduler/engine
+        combination produces identical ``RunReport``s (the DESIGN.md
+        §3.6 / §3.10 equivalence contracts), so a hit under any of them
+        is exact.
         """
         cached, info = self.peek_spanner(network, params)
         if cached is not None:
@@ -207,7 +209,9 @@ class ArtifactStore:
         from repro.core.distributed import build_spanner_distributed
 
         self.stats.misses += 1
-        built = build_spanner_distributed(network, params, scheduler=scheduler)
+        built = build_spanner_distributed(
+            network, params, scheduler=scheduler, engine=round_engine
+        )
         self.put_spanner(built)
         return built, FetchInfo("built")
 
@@ -254,8 +258,11 @@ class ArtifactStore:
         params: SamplerParams,
         *,
         scheduler: str = "active",
+        round_engine: str | None = None,
     ) -> SpannerResult:
-        return self.fetch_spanner(network, params, scheduler=scheduler)[0]
+        return self.fetch_spanner(
+            network, params, scheduler=scheduler, round_engine=round_engine
+        )[0]
 
     # ------------------------------------------------------------------
     # flood schedules

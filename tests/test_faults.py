@@ -166,3 +166,78 @@ class TestFaultPlanSurface:
         b.record_corrupt()
         merged = MessageStats.merge(a, b)
         assert merged.corrupted == 3
+
+
+class _SpyStats(MessageStats):
+    """MessageStats that tallies which metering entry points ran."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.record_calls = 0
+        self.batch_calls = 0
+
+    def record(self, tag):
+        self.record_calls += 1
+        super().record(tag)
+
+    def record_batch(self, msgs):
+        self.batch_calls += 1
+        super().record_batch(msgs)
+
+
+class TestBatchedMetering:
+    """Corrupt-only plans must stay on the batched collect path: nothing
+    can drop, so outboxes move whole and metering is per round
+    (``record_batch``), never per message (``record``) — the corruption
+    swap happens in place over the batch."""
+
+    @pytest.mark.parametrize("scheduler", ("active", "dense"))
+    def test_corrupt_only_never_meters_per_message(self, path4, scheduler, monkeypatch):
+        import repro.local.runtime as runtime_mod
+
+        spies: list[_SpyStats] = []
+
+        def make_spy():
+            spy = _SpyStats()
+            spies.append(spy)
+            return spy
+
+        monkeypatch.setattr(runtime_mod, "MessageStats", make_spy)
+        plan = FaultPlan(corrupt_probability=0.5, seed=7)
+        report = run_program(
+            path4, lambda n: Collector(2), seed=0, faults=plan, scheduler=scheduler
+        )
+        assert spies, "runtime did not construct its stats object"
+        assert sum(s.record_calls for s in spies) == 0
+        assert sum(s.batch_calls for s in spies) > 0
+        assert report.messages.total > 0
+        assert report.messages.corrupted > 0
+
+    def test_drop_plans_use_the_per_message_path(self, path4, monkeypatch):
+        import repro.local.runtime as runtime_mod
+
+        spies: list[_SpyStats] = []
+
+        def make_spy():
+            spy = _SpyStats()
+            spies.append(spy)
+            return spy
+
+        monkeypatch.setattr(runtime_mod, "MessageStats", make_spy)
+        plan = FaultPlan(drop_probability=0.3, corrupt_probability=0.3, seed=7)
+        report = run_program(path4, lambda n: Collector(2), seed=0, faults=plan)
+        assert sum(s.record_calls for s in spies) == report.messages.total > 0
+
+    def test_corrupt_only_report_matches_per_message_semantics(self, path4):
+        # The batched path must meter exactly what the per-message path
+        # would have: same totals, same per-round series, same corrupted
+        # count, on both schedulers.
+        plan = FaultPlan(corrupt_probability=0.4, seed=11)
+        active = run_program(path4, lambda n: Collector(2), seed=0, faults=plan)
+        dense = run_program(
+            path4, lambda n: Collector(2), seed=0, faults=plan, scheduler="dense"
+        )
+        assert active.messages.total == dense.messages.total
+        assert active.messages.per_round == dense.messages.per_round
+        assert active.messages.corrupted == dense.messages.corrupted
+        assert active.outputs == dense.outputs

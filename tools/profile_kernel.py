@@ -5,16 +5,22 @@ Hot-path PRs should start from data, not guesses::
 
     PYTHONPATH=src python tools/profile_kernel.py spanner_dist/gnp/n2000
     PYTHONPATH=src python tools/profile_kernel.py scheme/one_stage/gnp --sort tottime
+    PYTHONPATH=src python tools/profile_kernel.py spanner_dist/gnp/n2000 --engine reference
     PYTHONPATH=src python tools/profile_kernel.py --list
 
 The kernel's ``build()`` (input construction) runs outside the profile;
 only the measured body is profiled — the same split the harness times.
+``--engine`` / ``--distance-engine`` pin the round engine
+(``REPRO_ROUND_ENGINE``) and the distance plane
+(``REPRO_DISTANCE_ENGINE``) for the profiled process, so comparing the
+vector and reference paths needs no env-var juggling.
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
 import sys
 
@@ -47,7 +53,25 @@ def main(argv: list[str] | None = None) -> int:
         help="profile the kernel's baseline body instead (e.g. the dense "
         "scheduler of a spanner_dist kernel)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("vector", "reference"),
+        help="round engine for the profiled run (sets REPRO_ROUND_ENGINE)",
+    )
+    parser.add_argument(
+        "--distance-engine",
+        choices=("vector", "reference"),
+        help="distance plane for the profiled run (sets REPRO_DISTANCE_ENGINE)",
+    )
     args = parser.parse_args(argv)
+
+    # Process-wide switches must be pinned before repro imports: kernels
+    # resolve their engines lazily at run time, but keeping the order
+    # strict means a future eager resolver cannot silently ignore them.
+    if args.engine:
+        os.environ["REPRO_ROUND_ENGINE"] = args.engine
+    if args.distance_engine:
+        os.environ["REPRO_DISTANCE_ENGINE"] = args.distance_engine
 
     from repro.bench.perf import default_kernels
 
