@@ -8,6 +8,8 @@ Examples::
     python -m repro.bench --perf                    # time kernels, write BENCH_core.json
     python -m repro.bench --perf --check            # fail on >25% regression
     python -m repro.bench --perf --check --filter "spanner/*,flood/*"
+    python -m repro.bench --perf --check --filter "spanner*,!*n100000"
+    python -m repro.bench --perf --memory-budget 4096  # fail past 4 GB RSS
     python -m repro.bench --perf --repeats 3        # override best-of counts
     python -m repro.bench --perf --jobs 4           # kernels across 4 processes
     python -m repro.bench --experiment all --jobs 4 # experiments in parallel
@@ -106,7 +108,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="GLOB",
         help="with --perf: run only kernels matching these comma-"
-        "separated fnmatch globs (e.g. 'spanner/*,flood/*'); with "
+        "separated fnmatch globs (e.g. 'spanner/*,flood/*'); prefix a "
+        "glob with '!' to exclude (e.g. 'spanner*,!*n100000'); with "
         "--check, only matching kernels are compared",
     )
     parser.add_argument(
@@ -124,6 +127,15 @@ def main(argv: list[str] | None = None) -> int:
         help="run independent perf kernels / experiments in N worker "
         "processes (results merge deterministically; timings share the "
         "machine, so prefer --jobs 1 when ratcheting the perf baseline)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="with --perf: fail (exit 1) if any kernel's peak RSS — "
+        "process high-water mark including parallel-build workers — "
+        "exceeds this many megabytes",
     )
     parser.add_argument(
         "--update-readme",

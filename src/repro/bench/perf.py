@@ -17,8 +17,12 @@ has a trajectory to beat:
 * ``--perf --check``    run the suite and exit non-zero if any kernel is
   more than :data:`REGRESSION_TOLERANCE` slower than the committed file;
 * ``--perf --filter G`` run only kernels matching the comma-separated
-  fnmatch globs ``G`` (with ``--check``: compare only those kernels);
+  fnmatch globs ``G`` — ``!``-prefixed globs exclude (with ``--check``:
+  compare only those kernels);
 * ``--perf --repeats N``  override every kernel's best-of count;
+* ``--perf --memory-budget MB``  exit non-zero when any kernel's
+  recorded ``peak_rss_mb`` (process high-water mark, parallel-build
+  workers included) exceeds the budget;
 * ``--perf --jobs N``   time independent kernels in ``N`` worker
   processes (each kernel is seed-deterministic, so results merge
   order-independently; wall-clock timings share the machine, so prefer
@@ -51,6 +55,11 @@ import platform
 import statistics
 import sys
 import time
+
+try:  # POSIX only; peak-RSS columns are skipped where it is missing
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None  # type: ignore[assignment]
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable
@@ -128,8 +137,21 @@ def _gnp(n: int) -> Network:
     return erdos_renyi(n, 8 / (n - 1), seed=1)
 
 
+def _gnp_array(n: int) -> Network:
+    """``_gnp`` through the O(m) array generator — the n >= 10^4 scale
+    kernels would spend longer generating their input than building the
+    spanner on the reference per-pair generator."""
+    return erdos_renyi(n, 8 / (n - 1), seed=1, engine="array")
+
+
 def _spanner(net: Network) -> object:
     return build_spanner(net, _SPANNER_PARAMS)
+
+
+def _spanner_par(net: Network) -> object:
+    """The shard-parallel build (DESIGN.md §3.11) at two workers —
+    bit-identical SpannerResult to ``_spanner`` on the same input."""
+    return build_spanner(net, _SPANNER_PARAMS, jobs=2)
 
 
 def _spanner_reference(net: Network) -> object:
@@ -287,6 +309,10 @@ def _baseline_label(name: str) -> str:
         return "rebuild"
     if name.startswith("runtime_vec/"):
         return "reference"
+    if name.startswith(("spanner_par/", "spanner/")):
+        # the parallel-build kernels re-run the same input at jobs=1
+        # (note: "spanner/" does not prefix-match "spanner_dist/")
+        return "serial"
     return "dense"
 
 
@@ -318,6 +344,34 @@ def default_kernels() -> list[Kernel]:
     their cold-store baselines, and the vector round engine against
     its reference interpreter on flood/gossip/algorithm bodies."""
     kernels: list[Kernel] = []
+    # Scale kernels (DESIGN.md §3.11): the shard-parallel centralized
+    # build against its serial twin on the same input — bit-identical
+    # SpannerResults, so the recorded ``speedup`` is pure execution
+    # engine.  They run FIRST in the suite and, within each kernel,
+    # the measured body before the serial baseline: fork(2) workers
+    # inherit the parent heap copy-on-write, so a parent bloated by
+    # earlier kernels taxes every worker page-touch and understates
+    # the speedup by ~15-20%.  n=10^5 is the tentpole scale target and
+    # runs best-of-1: the body is seconds-long and the serial baseline
+    # doubles the bill.
+    kernels.append(
+        Kernel(
+            "spanner_par/gnp/n20000",
+            lambda: _gnp_array(20000),
+            _spanner_par,
+            repeats=2,
+            baseline=_spanner,
+        )
+    )
+    kernels.append(
+        Kernel(
+            "spanner/gnp/n100000",
+            lambda: _gnp_array(100000),
+            _spanner_par,
+            repeats=1,
+            baseline=_spanner,
+        )
+    )
     for n in (500, 1000, 2000):
         kernels.append(Kernel(f"spanner/gnp/n{n}", lambda n=n: _gnp(n), _spanner))
     for side in (16, 24, 32):
@@ -475,12 +529,27 @@ def _spread(samples: list[float]) -> float:
     return (max(samples) - low) / low
 
 
+def _peak_rss_mb() -> float | None:
+    """Peak resident set of this process (and its worker children) in
+    MB — ``resource.getrusage`` high-water marks, so within one process
+    the value is monotone across kernels: each entry records the
+    biggest footprint *up to and including* itself.  That is exactly
+    the conservative reading a ``--memory-budget`` check wants."""
+    if resource is None:  # pragma: no cover - non-POSIX
+        return None
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    # Linux reports kilobytes.
+    return round(max(own, kids) / 1024, 1)
+
+
 def _measure_kernel(kernel: Kernel, repeats: int | None) -> tuple[dict, dict | None]:
     """Build and time one kernel; returns ``(entry, flagship_or_None)``.
 
     The entry carries best (``seconds``) and ``median_seconds`` over the
-    samples plus input sizes; the flagship kernel also times the seed
-    recount path so the optimized/seed speedup stays on record.
+    samples plus input sizes and the post-run peak RSS; the flagship
+    kernel also times the seed recount path so the optimized/seed
+    speedup stays on record.
     """
     built = kernel.build()
     net = _net_of(built)
@@ -494,6 +563,9 @@ def _measure_kernel(kernel: Kernel, repeats: int | None) -> tuple[dict, dict | N
         "m": net.m,
         "repeats": best_of,
     }
+    peak = _peak_rss_mb()
+    if peak is not None:
+        entry["peak_rss_mb"] = peak
     spread = _spread(samples)
     if spread > SPREAD_WARNING:
         entry["spread"] = round(spread, 2)
@@ -541,25 +613,55 @@ def _progress_line(name: str, entry: dict) -> str:
     return line
 
 
+def _ram_total_mb() -> int | None:
+    """Physical memory of the host in MB (Linux /proc/meminfo)."""
+    try:
+        with open("/proc/meminfo", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("MemTotal:"):
+                    return int(line.split()[1]) // 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        pass
+    return None
+
+
 def _environment() -> dict:
     """Host metadata recorded alongside the numbers (never checked)."""
-    return {
+    env = {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "numpy": numpy.__version__,
         "networkx": networkx.__version__,
     }
+    ram = _ram_total_mb()
+    if ram is not None:
+        env["ram_total_mb"] = ram
+    return env
 
 
 def _matches(name: str, patterns: list[str] | None) -> bool:
+    """fnmatch against a glob list; ``!glob`` entries exclude.
+
+    A name matches when no ``!`` pattern matches it AND (some positive
+    pattern matches it, or the list has no positive patterns).  So
+    ``spanner*,!*n100000`` is "the spanner kernels except the 10^5
+    instance" and ``!service/*`` is "everything but the service suite".
+    """
     if not patterns:
         return True
-    return any(fnmatch.fnmatch(name, pattern) for pattern in patterns)
+    negative = [p[1:] for p in patterns if p.startswith("!")]
+    if any(fnmatch.fnmatch(name, pattern) for pattern in negative):
+        return False
+    positive = [p for p in patterns if not p.startswith("!")]
+    if not positive:
+        return True
+    return any(fnmatch.fnmatch(name, pattern) for pattern in positive)
 
 
 def parse_filter(spec: str | None) -> list[str] | None:
-    """``--filter`` value → list of fnmatch globs (comma-separated)."""
+    """``--filter`` value → list of fnmatch globs (comma-separated,
+    ``!``-prefixed globs exclude — see :func:`_matches`)."""
     if not spec:
         return None
     patterns = [part.strip() for part in spec.split(",") if part.strip()]
@@ -788,7 +890,13 @@ def render_readme_section(doc: dict) -> str:
         "registered LOCAL algorithm; their reference baseline re-runs "
         "the identical body on the per-node interpreter "
         "(`REPRO_ROUND_ENGINE=reference`, identical `RunReport`s, "
-        "DESIGN.md §3.10)."
+        "DESIGN.md §3.10).  `spanner_par/*` and `spanner/gnp/n100000` "
+        "time the shard-parallel centralized build (`jobs=2`, "
+        "DESIGN.md §3.11); their serial baseline re-runs the identical "
+        "input at `jobs=1` — bit-identical `SpannerResult`s, so the "
+        "speedup is pure execution engine.  Every entry also records "
+        "`peak_rss_mb` (process high-water RSS including build "
+        "workers); gate it with `--memory-budget MB`."
     )
     lines.append("")
     lines.append(
@@ -848,6 +956,24 @@ def main_perf(args) -> int:
         jobs=jobs,
     )
     sys.stdout.write(format_report(doc) + "\n")
+    budget = getattr(args, "memory_budget", None)
+    if budget is not None:
+        over = {
+            name: entry["peak_rss_mb"]
+            for name, entry in doc["kernels"].items()
+            if entry.get("peak_rss_mb", 0.0) > budget
+        }
+        if over:
+            sys.stderr.write(
+                f"memory budget exceeded ({budget:.0f} MB):\n"
+            )
+            for name, peak in over.items():
+                sys.stderr.write(f"  {name}: peak RSS {peak:.1f} MB\n")
+            return 1
+        sys.stdout.write(
+            f"memory check OK: every kernel's peak RSS within "
+            f"{budget:.0f} MB\n"
+        )
     if args.check:
         try:
             with open(args.bench_file, encoding="utf-8") as handle:

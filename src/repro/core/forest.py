@@ -76,6 +76,32 @@ class ClusterForest:
         for phys in moved:
             self._root_of[phys] = center
 
+    def bulk_attach(
+        self,
+        joins,
+        joiner_ends,
+        center_ends,
+    ) -> None:
+        """Apply one level's join set without per-call validation.
+
+        ``joins`` is the level's ``(joiner, center, eid)`` sequence and
+        ``joiner_ends``/``center_ends`` the corresponding physical
+        endpoints of each edge, already resolved (and therefore already
+        validated) by the caller — the parallel level loop, which has
+        them as arrays anyway.  State mutations are exactly those of
+        repeated :meth:`attach` calls.
+        """
+        members = self._members
+        parent = self._parent
+        root_of = self._root_of
+        for (joiner, center, eid), x, y in zip(joins, joiner_ends, center_ends):
+            self._reroot(joiner, x)
+            parent[x] = (y, eid)
+            moved = members.pop(joiner)
+            members[center].extend(moved)
+            for phys in moved:
+                root_of[phys] = center
+
     def tree(self, cid: int) -> RootedTree:
         """The current spanning tree of cluster ``cid``."""
         members = set(self._members[cid])
@@ -88,6 +114,12 @@ class ClusterForest:
     def parent_edge(self, phys: int) -> tuple[int, int] | None:
         """``(parent phys, eid)`` for a non-root member, else ``None``."""
         return self._parent.get(phys)
+
+    def parent_items(self):
+        """All ``(child phys, (parent phys, eid))`` pairs (runtime-side;
+        do not mutate).  Lets callers assemble flat parent arrays for
+        vectorized depth sweeps without per-node method calls."""
+        return self._parent.items()
 
     def tree_edge_ids(self, cid: int) -> frozenset[int]:
         return self.tree(cid).edge_ids()

@@ -42,6 +42,7 @@ makes the centralized and distributed runs bit-identical.
 
 from __future__ import annotations
 
+import os
 import random
 from collections import Counter
 
@@ -50,18 +51,41 @@ from repro.core.params import SamplerParams
 from repro.core.spanner import SpannerResult
 from repro.core.trace import FinishedCluster, LevelTrace, NodeLevelTrace, SamplerTrace
 from repro.core.trials import QueryResult, TrialMachine
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.local.network import Network
 from repro.rng import RngFactory
 
-__all__ = ["build_spanner", "SamplerRun"]
+__all__ = ["build_spanner", "SamplerRun", "resolve_jobs"]
+
+JOBS_ENV = "REPRO_BUILD_JOBS"
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Resolve the ``jobs=`` knob: explicit value, else ``REPRO_BUILD_JOBS``,
+    else 1 (the serial path)."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    return max(1, int(jobs))
 
 
 class SamplerRun:
     """One centralized execution; exposed for step-by-step inspection."""
 
     def __init__(
-        self, network: Network, params: SamplerParams, *, incremental: bool = True
+        self,
+        network: Network,
+        params: SamplerParams,
+        *,
+        incremental: bool = True,
+        jobs: int | None = None,
     ) -> None:
         self.network = network
         self.params = params
@@ -74,6 +98,12 @@ class SamplerRun:
         self._finished: dict[int, FinishedCluster] = {}
         self._level_done = 0
         self._incremental = incremental
+        # jobs > 1 shards the per-level trial population across worker
+        # processes (repro.core.parallel); only meaningful on the
+        # incremental strategy — the reference strategy is the seed
+        # equivalence baseline and always runs serial.
+        self._jobs = resolve_jobs(jobs)
+        self._engine = None
         self._eid_row, self._ep_u, self._ep_v = network.endpoints_flat()
         if incremental:
             # Pool invariant: ``_pools[cid]`` holds exactly the edges with
@@ -82,14 +112,40 @@ class SamplerRun:
             # pool is simply ``network.incident(cid)``.
             self._pools: dict[int, set[int]] = {}
             self._dead: dict[int, set[int]] = {}
+            # Parallel levels keep announcements factored instead of
+            # eagerly unioned: ``_dead_pairs[receiver]`` is the set of
+            # finished clusters that announced to ``receiver``, and
+            # ``_payloads[finisher]`` the announced edge array.  The
+            # receiver's dead set is (by definition) the union of its
+            # announcers' payloads; workers apply it by membership
+            # without anyone ever materializing the union.
+            self._dead_pairs: dict[int, set[int]] = {}
+            self._payloads: dict[int, object] = {}
+            # Parallel levels stop maintaining ``_pools`` (workers derive
+            # every pool from the shared-memory root arrays); once unset,
+            # ``_live_edges`` falls back to recounting member incidences.
+            self._pools_valid = True
 
     # ------------------------------------------------------------------
     # public driver
     # ------------------------------------------------------------------
     def run(self) -> SpannerResult:
-        for j in range(self.params.levels):
-            self.run_level(j)
+        try:
+            for j in range(self.params.levels):
+                self.run_level(j)
+        finally:
+            self.close()
         return self.result()
+
+    def close(self) -> None:
+        """Release the parallel engine (pool + shared memory), if any.
+
+        ``run()`` always calls this; step-by-step drivers should too
+        (the engine's own finalizer is the backstop)."""
+        engine = self._engine
+        if engine is not None:
+            self._engine = None
+            engine.close()
 
     def result(self) -> SpannerResult:
         return SpannerResult(
@@ -105,6 +161,8 @@ class SamplerRun:
     def run_level(self, j: int) -> LevelTrace:
         if j != self._level_done:
             raise SimulationError(f"levels must run in order; expected {self._level_done}")
+        if self._active and self._parallel_level_ok(j):
+            return self._run_level_parallel(j)
         incremental = self._incremental
         live = {cid: self._live_edges(cid) for cid in self._active}
         if incremental:
@@ -181,6 +239,7 @@ class SamplerRun:
             for cid in unclustered:
                 self._pools.pop(cid, None)
                 self._dead.pop(cid, None)
+                self._dead_pairs.pop(cid, None)
         self._after_level(j, level_trace)
         self._active = set(centers) if j < self.params.k else set()
         self._level_done = j + 1
@@ -262,6 +321,209 @@ class SamplerRun:
                 machines[cid] = machine
         return machines
 
+    # ------------------------------------------------------------------
+    # process-parallel level execution (repro.core.parallel)
+    # ------------------------------------------------------------------
+    def _parallel_level_ok(self, j: int) -> bool:
+        """May level ``j`` run on the sharded parallel engine?
+
+        Override point: ``RepairRun`` additionally requires an empty
+        clean set (a pure-rebuild level), since replay decisions are
+        interleaved with the serial trial loop."""
+        return self._jobs > 1 and self._incremental
+
+    def _note_parallel_trials(self, j: int, part) -> None:
+        """Hook invoked in place of :meth:`_run_trials` bookkeeping when
+        a level runs parallel.  ``RepairRun`` resets its per-level replay
+        state here."""
+
+    def _run_level_parallel(self, j: int) -> LevelTrace:
+        """One invocation of ``Cluster_j`` on the sharded engine.
+
+        Mirrors :meth:`run_level` stage for stage; the trial population
+        executes in worker processes (repro.core.parallel) and comes back
+        as one columnar :class:`~repro.core.parallel.LevelPartial` whose
+        reduce order is independent of the shard count.  Pools and dead
+        sets are still maintained (``_merge_pools`` / ``_finish_cluster``)
+        so serial and parallel levels can interleave freely within one
+        run — bit-identical either way.
+        """
+        import numpy as np
+
+        from repro.core import parallel
+
+        if self._engine is None:
+            self._engine = parallel.ParallelBuildEngine(
+                self.network, self.params, self._jobs
+            )
+        active_sorted = sorted(self._active)
+        futures = self._engine.submit_level(
+            j,
+            root_of=self.forest.root_of,
+            active_sorted=active_sorted,
+            dead=self._dead,
+            dead_pairs=self._dead_pairs,
+            payloads=self._payloads,
+        )
+        # Per-level bookkeeping overlaps worker execution: both read the
+        # same pre-level forest state (the workers from their shm copy).
+        # Sizes and heights come from vectorized sweeps instead of the
+        # per-cluster forest walks the serial level uses — same dicts,
+        # O(n * tree height) total instead of one walk per cluster.
+        n = self.network.n
+        root_np = np.asarray(self.forest.root_of, dtype=np.int64)
+        active_np = np.asarray(active_sorted, dtype=np.int64)
+        counts = np.bincount(root_np, minlength=n)
+        sizes = dict(zip(active_sorted, counts[active_np].tolist()))
+        ident = np.arange(n, dtype=np.int64)
+        pa = ident.copy()
+        for child, (par_phys, _eid) in self.forest.parent_items():
+            pa[child] = par_phys
+        # depth[x] = hops from x to its tree root: chase parent pointers
+        # in lockstep, at most tree-height iterations (Lemma 8 bounds it
+        # by (3^j - 1) / 2).
+        depth = (pa != ident).astype(np.int64)
+        cur = pa
+        while True:
+            nxt = pa[cur]
+            moved = nxt != cur
+            if not moved.any():
+                break
+            depth += moved
+            cur = nxt
+        tree_h = np.zeros(n, dtype=np.int64)
+        np.maximum.at(tree_h, root_np, depth)
+        heights = dict(zip(active_sorted, tree_h[active_np].tolist()))
+        part = self._engine.collect(futures)
+        self._note_parallel_trials(j, part)
+
+        nodes = part.node_traces(j, self.params, n)
+        level_f = frozenset(part.fa_e.tolist())
+        self.spanner_edges |= level_f
+
+        if j < self.params.k:
+            centers = tuple(part.centers.tolist())
+            joins = part.joins(n)
+            clustered = np.concatenate(
+                [
+                    part.centers,
+                    np.asarray([v for v, _u, _e in joins], dtype=np.int64),
+                ]
+            )
+            unclustered = tuple(
+                np.setdiff1d(part.cids, clustered, assume_unique=True).tolist()
+            )
+        else:
+            centers, joins = (), ()
+            unclustered = tuple(active_sorted)
+
+        level_trace = LevelTrace(
+            level=j,
+            population=len(active_sorted),
+            active_edges=part.active_edges // 2,
+            stale_edges=part.stale_edges,
+            cluster_sizes=sizes,
+            cluster_heights=heights,
+            nodes=nodes,
+            centers=centers,
+            joins=joins,
+            unclustered=unclustered,
+            f_edges=level_f,
+        )
+        self.trace.levels.append(level_trace)
+
+        self._pools_valid = False
+        self._pools.clear()
+        if joins:
+            je = np.asarray([e for _v, _u, e in joins], dtype=np.int64)
+            jv = np.asarray([v for v, _u, _e in joins], dtype=np.int64)
+            rows = (
+                je
+                if self._eid_row is None
+                else np.searchsorted(
+                    np.asarray(self.network.edge_ids, dtype=np.int64), je
+                )
+            )
+            pu = np.frombuffer(self._ep_u, dtype=np.int64)[rows]
+            pv = np.frombuffer(self._ep_v, dtype=np.int64)[rows]
+            root_np = np.asarray(self.forest.root_of, dtype=np.int64)
+            joiner_side = root_np[pu] == jv
+            xs = np.where(joiner_side, pu, pv).tolist()
+            ys = np.where(joiner_side, pv, pu).tolist()
+            self.forest.bulk_attach(joins, xs, ys)
+            for joiner, center, _eid in joins:
+                self._merge_dead(joiner, center)
+        self._finish_clusters_parallel(j, unclustered, part, nodes)
+        for cid in unclustered:
+            self._pools.pop(cid, None)
+            self._dead.pop(cid, None)
+            self._dead_pairs.pop(cid, None)
+        self._after_level(j, level_trace)
+        self._active = set(centers) if j < self.params.k else set()
+        self._level_done = j + 1
+        return level_trace
+
+    def _finish_clusters_parallel(self, j, unclustered, part, nodes):
+        """Bulk variant of per-cluster :meth:`_finish_cluster` for a
+        parallel level: identical records and receiver dead-set updates,
+        with the receiver lookup vectorized over all announced ``F``
+        edges at once.  Returns the receiver cluster id per announced
+        edge (finishers in ascending order) — ``RepairRun`` overrides to
+        also mark those receivers dirty, mirroring its serial override.
+        """
+        import numpy as np
+
+        from repro.core.parallel import _concat_ranges
+
+        finished = self._finished
+        trace_finished = self.trace.finished
+        announce = j < self.params.k
+        for cid in unclustered:
+            live_arr = part.live_array(cid)
+            record = FinishedCluster(
+                cid=cid,
+                level=j,
+                label=nodes[cid].label,
+                live_edges=frozenset(live_arr.tolist()),
+            )
+            finished[cid] = record
+            trace_finished[cid] = record
+            if announce:
+                self._payloads[cid] = live_arr
+        if not announce or not unclustered:
+            return None  # final level: nothing to announce
+        finishers = np.asarray(unclustered, dtype=np.int64)
+        pos = np.searchsorted(part.cids, finishers)
+        fa_off = np.zeros(len(part.cids) + 1, dtype=np.int64)
+        np.cumsum(part.fa_cnt, out=fa_off[1:])
+        cnt = part.fa_cnt[pos]
+        idx = _concat_ranges(fa_off[pos], cnt)
+        eids = part.fa_e[idx]
+        owner = np.repeat(finishers, cnt)
+        if self._eid_row is None:
+            rows = eids
+        else:
+            rows = np.searchsorted(
+                np.asarray(self.network.edge_ids, dtype=np.int64), eids
+            )
+        ep_u = np.frombuffer(self._ep_u, dtype=np.int64)
+        ep_v = np.frombuffer(self._ep_v, dtype=np.int64)
+        root_np = np.asarray(self.forest.root_of, dtype=np.int64)
+        ru = root_np[ep_u[rows]]
+        rv = root_np[ep_v[rows]]
+        # The finisher neither joined nor centered this level, so its
+        # members' assignment is unchanged post-attach: the member
+        # endpoint is the one whose root is the finisher itself.
+        recv = np.where(ru == owner, rv, ru)
+        dead_pairs = self._dead_pairs
+        for o, r in zip(owner.tolist(), recv.tolist()):
+            pairs_r = dead_pairs.get(r)
+            if pairs_r is None:
+                dead_pairs[r] = {o}
+            else:
+                pairs_r.add(o)
+        return recv
+
     def _after_level(self, j: int, level_trace: LevelTrace) -> None:
         """Hook after a level's joins/finishes apply, before the active
         set advances.  The base run needs nothing here; ``RepairRun``
@@ -272,6 +534,22 @@ class SamplerRun:
         if self._incremental:
             pool = self._pools.get(cid)
             dead = self._dead.get(cid)
+            pairs = self._dead_pairs.get(cid)
+            if pairs:
+                # Fold factored parallel-level announcements back into
+                # an explicit dead set (only reachable when a serial
+                # level reads state a parallel level produced).
+                dead = set(dead) if dead else set()
+                for finisher in pairs:
+                    dead.update(self._payloads[finisher].tolist())
+            if not self._pools_valid:
+                # Recount the dedup'd pool from member incidences (the
+                # reference rule) — parallel levels do not maintain
+                # ``_pools``, so a serial read rebuilds it on the spot.
+                counts: Counter[int] = Counter()
+                for phys in self.forest.members(cid):
+                    counts.update(self.network.incident(phys))
+                pool = {e for e, c in counts.items() if c == 1}
             if pool is None:  # never merged: singleton, cid is its phys id
                 incident = self.network.incident(cid)
                 if not dead:
@@ -311,6 +589,12 @@ class SamplerRun:
             pools[center] = pool_j
         else:
             pool_c ^= pool_j
+        self._merge_dead(joiner, center)
+
+    def _merge_dead(self, joiner: int, center: int) -> None:
+        """Fold ``joiner``'s announcement state into ``center``'s — the
+        dead-set half of :meth:`_merge_pools`, also used alone by the
+        parallel level loop (which leaves ``_pools`` unmaintained)."""
         dead_j = self._dead.pop(joiner, None)
         if dead_j:
             dead_c = self._dead.get(center)
@@ -321,6 +605,16 @@ class SamplerRun:
                 self._dead[center] = dead_j
             else:
                 dead_c |= dead_j
+        pairs_j = self._dead_pairs.pop(joiner, None)
+        if pairs_j:
+            pairs_c = self._dead_pairs.get(center)
+            if pairs_c is None:
+                self._dead_pairs[center] = pairs_j
+            elif len(pairs_j) > len(pairs_c):
+                pairs_j |= pairs_c
+                self._dead_pairs[center] = pairs_j
+            else:
+                pairs_c |= pairs_j
 
     def _group_by_neighbor(self, cid: int, edges: list[int]) -> dict[int, list[int]]:
         """Partition ``X_v`` by the cluster at the other end of each edge.
@@ -485,7 +779,18 @@ class SamplerRun:
         )
 
 def build_spanner(
-    network: Network, params: SamplerParams, *, incremental: bool = True
+    network: Network,
+    params: SamplerParams,
+    *,
+    incremental: bool = True,
+    jobs: int | None = None,
 ) -> SpannerResult:
-    """Run centralized ``Sampler`` and return the spanner with its trace."""
-    return SamplerRun(network, params, incremental=incremental).run()
+    """Run centralized ``Sampler`` and return the spanner with its trace.
+
+    ``jobs`` (default: ``REPRO_BUILD_JOBS``, else 1) shards each level's
+    trial population across that many worker processes over a shared
+    -memory view of the graph — bit-identical results, see DESIGN.md
+    §3.11.  Ignored on ``incremental=False``: the reference strategy is
+    the seed equivalence baseline and always runs serial.
+    """
+    return SamplerRun(network, params, incremental=incremental, jobs=jobs).run()

@@ -100,8 +100,9 @@ class RepairRun(SamplerRun):
         *,
         parent: SpannerResult,
         touched: frozenset[int],
+        jobs: int | None = None,
     ) -> None:
-        super().__init__(network, params, incremental=True)
+        super().__init__(network, params, incremental=True, jobs=jobs)
         if parent.params != params:
             raise ConfigurationError(
                 "repair requires the parent's construction parameters"
@@ -143,6 +144,31 @@ class RepairRun(SamplerRun):
             trace=base.trace,
             provenance=parent.provenance + (parent.network.fingerprint(),),
         )
+
+    # ------------------------------------------------------------------
+    def _parallel_level_ok(self, j: int) -> bool:
+        """Shard a level only once replay is off the table: with no
+        clean cluster left, every machine runs fresh — exactly the
+        population the parallel engine executes.  ``_clean`` never
+        refills (``_after_level`` only intersects it down), so a repair
+        that goes parallel stays parallel."""
+        return super()._parallel_level_ok(j) and not self._clean
+
+    def _note_parallel_trials(self, j, part) -> None:
+        """Mirror ``_run_trials``'s per-level bookkeeping for a sharded
+        level: nothing replays, every active cluster runs fresh."""
+        self._old_unclustered_now = set(self._old_levels[j].unclustered)
+        self._replayed_now = set()
+        self.fresh_clusters += len(part.cids)
+
+    def _finish_clusters_parallel(self, j, unclustered, part, nodes):
+        """Parallel levels never replay, so every announcement is
+        un-mirrored: mark every receiver dirty, exactly as the serial
+        ``_finish_cluster`` override does fresh-finisher by finisher."""
+        recv = super()._finish_clusters_parallel(j, unclustered, part, nodes)
+        if recv is not None:
+            self._marked.update(recv.tolist())
+        return recv
 
     # ------------------------------------------------------------------
     def _run_trials(
@@ -319,6 +345,8 @@ def repair_spanner(
     parent: SpannerResult,
     network: Network,
     logs: MutationLog | Sequence[MutationLog],
+    *,
+    jobs: int | None = None,
 ) -> SpannerResult:
     """Repair ``parent``'s spanner onto the post-churn ``network``.
 
@@ -330,6 +358,12 @@ def repair_spanner(
     ``provenance`` extended by the parent graph's fingerprint, and
     ``messages``/``rounds`` of ``None`` (repair is centralized work; it
     meters no distributed messages).
+
+    ``jobs`` follows :func:`~repro.core.sampler.build_spanner`: > 1
+    shards any level on which no cluster remains replayable across
+    worker processes (default ``REPRO_BUILD_JOBS``, else serial).
+    Levels that can still replay stay serial — replay skips work the
+    parallel engine would redo.
     """
     chain = (logs,) if isinstance(logs, MutationLog) else tuple(logs)
     if not chain:
@@ -351,6 +385,7 @@ def repair_spanner(
     for log in chain:
         touched |= log.touched_nodes()
     run = RepairRun(
-        network, parent.params, parent=parent, touched=frozenset(touched)
+        network, parent.params, parent=parent, touched=frozenset(touched),
+        jobs=jobs,
     )
     return run.run()

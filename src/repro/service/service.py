@@ -257,10 +257,17 @@ class SimulationService:
         params: SamplerParams | None = None,
         gamma: int = 1,
         seed: int = 0,
+        build_jobs: int | None = None,
     ) -> None:
         self._network = network
         self._params = params if params is not None else theorem3_params(gamma, seed=seed)
         self._seed = seed
+        # Worker count for the centralized construction work the service
+        # performs itself (incremental repairs).  ``None`` defers to
+        # ``REPRO_BUILD_JOBS`` at call time.  Full rebuilds on a cache
+        # miss are the store's *distributed* metered construction and
+        # are unaffected — message metering is the artifact there.
+        self._build_jobs = build_jobs
         self.store = store if store is not None else ArtifactStore()
         self.metrics = ServiceMetrics()
         # Spanner subnetworks memoized per (graph, edge set): building
@@ -507,15 +514,15 @@ class SimulationService:
         self._served.add(fingerprint)
         return spanner, info
 
-    @staticmethod
     def _try_repair(
+        self,
         ancestor: SpannerResult,
         network: Network,
         logs: tuple[MutationLog, ...],
     ) -> SpannerResult | None:
         """Attempt incremental repair; any failure degrades to rebuild."""
         try:
-            return repair_spanner(ancestor, network, logs)
+            return repair_spanner(ancestor, network, logs, jobs=self._build_jobs)
         except Exception:
             return None
 

@@ -135,13 +135,18 @@ class TestPerfHarness:
         # min/median both recorded; dependency versions in the metadata
         # make cross-machine comparisons interpretable
         assert entry["median_seconds"] >= entry["seconds"]
-        assert set(doc["environment"]) == {
+        assert {
             "python",
             "platform",
             "machine",
             "numpy",
             "networkx",
-        }
+        } <= set(doc["environment"])
+        # POSIX hosts also record the memory ceiling inputs
+        import resource  # noqa: F401  (POSIX-only; import failure = skip)
+
+        assert entry["peak_rss_mb"] > 0
+        assert doc["environment"]["ram_total_mb"] > 0
 
     def test_parallel_run_produces_same_kernel_set(self):
         from repro.bench.perf import run_perf_suite
@@ -153,6 +158,35 @@ class TestPerfHarness:
         for name, entry in serial["kernels"].items():
             twin = parallel["kernels"][name]
             assert (entry["n"], entry["m"]) == (twin["n"], twin["m"])
+
+    def test_matches_negative_globs(self):
+        from repro.bench.perf import _matches
+
+        assert _matches("spanner/gnp/n500", None)
+        assert _matches("spanner/gnp/n500", ["spanner/*"])
+        assert not _matches("flood/gnp/n2000", ["spanner/*"])
+        # !glob excludes even when a positive glob matches
+        pats = ["spanner*", "!*n100000"]
+        assert _matches("spanner/gnp/n20000", pats)
+        assert not _matches("spanner/gnp/n100000", pats)
+        # a pure-negative list means "everything except"
+        assert _matches("flood/gnp/n2000", ["!service/*"])
+        assert not _matches("service/cold", ["!service/*"])
+
+    def test_parse_filter_keeps_negative_globs(self):
+        from repro.bench.perf import parse_filter
+
+        assert parse_filter("spanner*, !*n100000") == ["spanner*", "!*n100000"]
+
+    def test_memory_budget_gate(self, capsys):
+        # An absurdly small budget must fail (exit 1) before the
+        # filter-without-check refusal (exit 2); a huge budget passes
+        # the memory gate and then hits that refusal.
+        args = ["--perf", "--filter", "spanner/torus/16x16", "--repeats", "1"]
+        assert main(args + ["--memory-budget", "0.001"]) == 1
+        assert "memory budget exceeded" in capsys.readouterr().err
+        assert main(args + ["--memory-budget", "1000000"]) == 2
+        assert "memory check OK" in capsys.readouterr().out
 
     def test_spread_warning(self):
         from repro.bench.perf import _progress_line, _spread

@@ -80,6 +80,74 @@ class TestGenerators:
         assert nx.is_connected(net.to_networkx())
 
 
+class TestArrayEngine:
+    """The O(m) vectorized generators (DESIGN.md §3.11): same
+    distribution family as the reference path, different instances,
+    pinned against scalar mirrors and structural invariants."""
+
+    @pytest.mark.parametrize("n", [2, 3, 7, 20])
+    def test_pair_decode_matches_scalar_mirror(self, n):
+        import numpy as np
+
+        from repro.graphs.generators import (
+            _decode_pair_index,
+            _decode_pair_index_mirror,
+        )
+
+        total = n * (n - 1) // 2
+        idx = np.arange(total, dtype=np.int64)
+        u, v = _decode_pair_index(idx, n)
+        mirror = [_decode_pair_index_mirror(i, n) for i in range(total)]
+        assert list(zip(u.tolist(), v.tolist())) == mirror
+        assert (u < v).all()
+
+    def test_array_gnp_deterministic_and_connected(self):
+        a = erdos_renyi(300, 0.02, seed=9, engine="array")
+        b = erdos_renyi(300, 0.02, seed=9, engine="array")
+        assert a.edge_ids == b.edge_ids
+        assert a.fingerprint() == b.fingerprint()
+        assert nx.is_connected(a.to_networkx())
+
+    def test_array_gnp_seeds_differ(self):
+        a = erdos_renyi(300, 0.02, seed=9, engine="array")
+        b = erdos_renyi(300, 0.02, seed=10, engine="array")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_array_gnm_exact_edge_count(self):
+        net = dense_gnm(100, 400, seed=3, connected=False, engine="array")
+        assert net.m == 400
+        seen = set()
+        for eid in net.edge_ids:
+            u, v = net.endpoints(eid)
+            assert u != v  # simple graph: no self-loops ...
+            assert (u, v) not in seen  # ... and no duplicate pairs
+            seen.add((u, v))
+
+    def test_array_ba_structure(self):
+        n, attach = 120, 3
+        net = barabasi_albert(n, attach, seed=4, engine="array")
+        assert net.n == n
+        # attachment process: a seed clique-free core then one batch of
+        # `attach` edges per arriving node, connected by construction
+        assert net.m == (n - attach) * attach
+        assert nx.is_connected(net.to_networkx())
+        degrees = sorted(net.degree(v) for v in net.nodes())
+        assert degrees[0] >= attach  # arrivals bring `attach` stubs
+        assert degrees[-1] > 2 * attach  # heavy tail exists
+
+    def test_default_engine_unchanged(self):
+        """engine='reference' is the default and stays byte-identical —
+        existing seeds must keep reproducing their committed graphs."""
+        assert (
+            erdos_renyi(50, 0.1, seed=7).fingerprint()
+            == erdos_renyi(50, 0.1, seed=7, engine="reference").fingerprint()
+        )
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(30, 0.1, seed=1, engine="simd")
+
+
 class TestLevelMultigraph:
     def test_level_zero(self, triangle):
         level = LevelMultigraph.level_zero(triangle)

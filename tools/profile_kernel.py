@@ -6,14 +6,21 @@ Hot-path PRs should start from data, not guesses::
     PYTHONPATH=src python tools/profile_kernel.py spanner_dist/gnp/n2000
     PYTHONPATH=src python tools/profile_kernel.py scheme/one_stage/gnp --sort tottime
     PYTHONPATH=src python tools/profile_kernel.py spanner_dist/gnp/n2000 --engine reference
+    PYTHONPATH=src python tools/profile_kernel.py spanner_par/gnp/n20000 --jobs 4
+    PYTHONPATH=src python tools/profile_kernel.py spanner/gnp/n2000 --top-alloc
     PYTHONPATH=src python tools/profile_kernel.py --list
 
 The kernel's ``build()`` (input construction) runs outside the profile;
 only the measured body is profiled — the same split the harness times.
-``--engine`` / ``--distance-engine`` pin the round engine
-(``REPRO_ROUND_ENGINE``) and the distance plane
-(``REPRO_DISTANCE_ENGINE``) for the profiled process, so comparing the
-vector and reference paths needs no env-var juggling.
+``--engine`` / ``--distance-engine`` / ``--jobs`` pin the round engine
+(``REPRO_ROUND_ENGINE``), the distance plane
+(``REPRO_DISTANCE_ENGINE``), and the parallel build width
+(``REPRO_BUILD_JOBS``) for the profiled process, so comparing the
+competing paths needs no env-var juggling.  ``--top-alloc`` swaps the
+time profile for a ``tracemalloc`` allocation profile: the top
+``--limit`` allocation sites plus the traced-peak size — the place to
+start when a kernel's ``peak_rss_mb`` regresses.  (tracemalloc sees
+this process only; parallel-build worker allocations stay off-book.)
 """
 
 from __future__ import annotations
@@ -63,6 +70,20 @@ def main(argv: list[str] | None = None) -> int:
         choices=("vector", "reference"),
         help="distance plane for the profiled run (sets REPRO_DISTANCE_ENGINE)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel-build worker count for the profiled run "
+        "(sets REPRO_BUILD_JOBS; 1 = serial)",
+    )
+    parser.add_argument(
+        "--top-alloc",
+        action="store_true",
+        help="profile allocations (tracemalloc) instead of time: top "
+        "--limit allocation sites plus the traced peak",
+    )
     args = parser.parse_args(argv)
 
     # Process-wide switches must be pinned before repro imports: kernels
@@ -72,6 +93,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_ROUND_ENGINE"] = args.engine
     if args.distance_engine:
         os.environ["REPRO_DISTANCE_ENGINE"] = args.distance_engine
+    if args.jobs is not None:
+        os.environ["REPRO_BUILD_JOBS"] = str(args.jobs)
 
     from repro.bench.perf import default_kernels
 
@@ -93,12 +116,30 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         body = kernel.baseline
 
-    net = kernel.build()
+    from repro.bench.perf import _net_of
+
+    built = kernel.build()
+    net = _net_of(built)
     label = f"{kernel.name}{' (baseline)' if args.baseline else ''}"
     print(f"profiling {label} on n={net.n}, m={net.m} ...", flush=True)
+    if args.top_alloc:
+        import tracemalloc
+
+        tracemalloc.start()
+        body(built)
+        current, peak = tracemalloc.get_traced_memory()
+        snapshot = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        print(
+            f"traced peak {peak / 2**20:.1f} MB "
+            f"(still reachable at end: {current / 2**20:.1f} MB)"
+        )
+        for stat in snapshot.statistics("lineno")[: args.limit]:
+            print(f"  {stat}")
+        return 0
     profiler = cProfile.Profile()
     profiler.enable()
-    body(net)
+    body(built)
     profiler.disable()
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.limit)
