@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Concurrent serving: 16 threads, one build, coalesced cold traffic.
+
+``ConcurrentSimulationService`` fronts the amortized service with two
+collapsing layers: a per-artifact-key singleflight (N threads racing a
+cold spanner perform exactly one build) and a batching window (identical
+payloads arriving close together share a single replay).  This demo
+fires a burst of 16 threaded requests — a mix of duplicated and distinct
+LOCAL payloads — at a cold front and prints what reached the engine:
+the coalescing ratio, the merge count, and the amortized per-request
+message cost that results.
+
+Run:  python examples/concurrent_service_demo.py
+"""
+
+from repro.algorithms import (
+    BfsLayers,
+    LubyMis,
+    MinIdAggregation,
+    RandomMatching,
+    RandomizedColoring,
+)
+from repro.core.params import SamplerParams
+from repro.graphs import erdos_renyi
+from repro.service import ConcurrentSimulationService
+
+
+def burst():
+    """16 requests: five distinct payloads, most of them duplicated."""
+    bfs = BfsLayers(0, 3)
+    coloring = RandomizedColoring(3)
+    mis = LubyMis(2)
+    matching = RandomMatching(2)
+    aggregation = MinIdAggregation(4)
+    return (
+        [bfs] * 5
+        + [coloring] * 4
+        + [mis] * 3
+        + [matching] * 2
+        + [aggregation] * 2
+    )
+
+
+def main() -> None:
+    net = erdos_renyi(400, 0.03, seed=7)
+    params = SamplerParams(k=2, h=2, seed=5, c_query=0.7, c_target=1.0)
+    requests = burst()
+    front = ConcurrentSimulationService(
+        net, params=params, seed=11, max_workers=16, merge_window=2.0
+    )
+
+    print(f"graph: n={net.n}, m={net.m}; sampler k={params.k}, h={params.h}")
+    print(f"burst: {len(requests)} threaded requests, "
+          f"{len({id(r) for r in requests})} distinct payloads, cold store")
+    with front:
+        responses = front.serve(requests)
+
+    snap = front.metrics.snapshot()
+    replays = snap["requests"] - snap["merged"]
+    print()
+    print(f"{'payload':>18} {'requests':>9} {'sim msgs':>10}")
+    seen = {}
+    for request, response in zip(requests, responses):
+        label = type(request).__name__
+        entry = seen.setdefault(
+            label, [0, response.simulation.total_messages]
+        )
+        entry[0] += 1
+    for label, (count, messages) in seen.items():
+        print(f"{label:>18} {count:>9} {messages:>10,}")
+
+    print()
+    print(front.metrics.summary())
+    print(
+        f"singleflight: {snap['spanner_builds']} build for "
+        f"{snap['requests']} requests ({snap['coalesced']} coalesced); "
+        f"batching window merged {snap['merged']}, so only {replays} "
+        "replays ran"
+    )
+    print(
+        f"amortized cost: {front.metrics.amortized_messages():,.1f} "
+        "msgs/request — the free lunch survives concurrency because the "
+        "front collapses duplicate work instead of racing it."
+    )
+
+
+if __name__ == "__main__":
+    main()

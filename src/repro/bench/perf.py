@@ -51,9 +51,11 @@ from __future__ import annotations
 
 import fnmatch
 import json
+import multiprocessing
 import platform
 import statistics
 import sys
+import tempfile
 import time
 
 try:  # POSIX only; peak-RSS columns are skipped where it is missing
@@ -82,7 +84,8 @@ from repro.core.distributed import build_spanner_distributed
 from repro.dynamic import ChurnPlan, apply_churn, repair_spanner
 from repro.graphs import barabasi_albert, dense_gnm, erdos_renyi, torus
 from repro.local.network import Network
-from repro.service import SimulationService
+from repro.service import ConcurrentSimulationService, SimulationService
+from repro.store import ArtifactStore
 from repro.simulate import flood_schedule, run_one_stage, run_two_stage, t_local_broadcast
 from repro.simulate.gossip import run_push_pull
 
@@ -238,6 +241,129 @@ def _service_cold(built: tuple[Network, SimulationService]) -> object:
     )
 
 
+# service/concurrent/* kernels time the hardened concurrent front
+# (DESIGN.md §3.12) on a 40-request workload: the five payload families
+# round-robined 8x, duplicates being the *same* object so the batching
+# window can merge them across worker threads.  The baseline is the
+# 1-worker serial ``submit()`` loop over the identical workload on the
+# same (warm) store — every request pays a full replay there, so the
+# recorded ``speedup`` is the requests-per-second factor coalescing
+# buys (acceptance: >= 3x at 4 workers).  Fresh payload instances per
+# batch keep one run's recent-window from feeding the next.
+_CONCURRENT_DUP = 8  # copies of each payload per workload
+
+
+def _concurrent_batch() -> list:
+    payloads = _service_payloads()
+    return [payload for _ in range(_CONCURRENT_DUP) for payload in payloads]
+
+
+def _concurrent_requests() -> int:
+    return len(_service_payloads()) * _CONCURRENT_DUP
+
+
+def _concurrent_input(workers: int):
+    def build() -> tuple[Network, ConcurrentSimulationService]:
+        net = _gnp(2000)
+        front = ConcurrentSimulationService(
+            service=SimulationService(net, params=_SERVICE_PARAMS, seed=33),
+            max_workers=workers,
+            merge_window=1.0,
+        )
+        front.serve(_service_payloads())  # pay construction outside the timing
+        return net, front
+
+    return build
+
+
+def _concurrent_warm(built: tuple[Network, ConcurrentSimulationService]) -> object:
+    _, front = built
+    return front.serve(_concurrent_batch())
+
+
+def _concurrent_serial(built: tuple[Network, ConcurrentSimulationService]) -> object:
+    """The 1-worker serial ``submit()`` loop over the same warm store."""
+    net, front = built
+    service = SimulationService(
+        net, store=front.store, params=_SERVICE_PARAMS, seed=33
+    )
+    return [service.submit(request) for request in _concurrent_batch()]
+
+
+def _concurrent_cold_input() -> tuple[Network, None]:
+    return _gnp(2000), None
+
+
+def _concurrent_cold(built: tuple[Network, None]) -> object:
+    """The whole workload against an empty store: the 4 workers race one
+    cold key, singleflight elects one builder, everyone else coalesces."""
+    net, _ = built
+    front = ConcurrentSimulationService(
+        service=SimulationService(net, params=_SERVICE_PARAMS, seed=33),
+        max_workers=4,
+        merge_window=1.0,
+    )
+    with front:
+        return front.serve(_concurrent_batch())
+
+
+def _concurrent_cold_serial(built: tuple[Network, None]) -> object:
+    net, _ = built
+    service = SimulationService(net, params=_SERVICE_PARAMS, seed=33)
+    return [service.submit(request) for request in _concurrent_batch()]
+
+
+def _concurrent_proc_worker(store_dir: str, queue) -> None:
+    """One worker process of the cross-process kernel (module-level so
+    the fork-spawned child resolves it regardless of how the perf suite
+    itself was parallelized)."""
+    net = _gnp(2000)
+    store = ArtifactStore(store_dir)
+    front = ConcurrentSimulationService(
+        service=SimulationService(net, store=store, params=_SERVICE_PARAMS, seed=33),
+        max_workers=2,
+        merge_window=1.0,
+    )
+    with front:
+        front.serve(_concurrent_batch())
+    queue.put(store.stats.snapshot())
+
+
+def _concurrent_procs_input() -> tuple[Network, object]:
+    net = _gnp(2000)
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+    # Pre-seed the shared directory so the measured body is the warm
+    # 2-process serving rate, not one process's construction.
+    SimulationService(
+        net, store=ArtifactStore(tmp.name), params=_SERVICE_PARAMS, seed=33
+    ).serve(_service_payloads())
+    return net, tmp
+
+
+def _concurrent_procs(built: tuple[Network, object]) -> object:
+    """Two worker processes share one store directory through the file
+    locks; the body fails outright on any corrupt read — the acceptance
+    bar is zero."""
+    _, tmp = built
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    workers = [
+        ctx.Process(target=_concurrent_proc_worker, args=(tmp.name, queue))
+        for _ in range(2)
+    ]
+    for worker in workers:
+        worker.start()
+    stats = [queue.get(timeout=600) for _ in workers]
+    for worker in workers:
+        worker.join(timeout=60)
+    corrupt = sum(snapshot["corrupt"] for snapshot in stats)
+    if corrupt:
+        raise RuntimeError(
+            f"cross-process kernel saw {corrupt} corrupt reads (must be 0)"
+        )
+    return stats
+
+
 # repair/* kernels time the self-healing path (DESIGN.md §3.9): one
 # churn epoch hits a cached spanner, and the measured body repairs it
 # onto the mutated graph — replaying untouched cluster trials from the
@@ -303,6 +429,10 @@ def _vec_algo(engine: str):
 
 def _baseline_label(name: str) -> str:
     """What a kernel's ``baseline_seconds`` column timed."""
+    if name.startswith("service/concurrent/"):
+        # the concurrent-front kernels baseline the 1-worker serial
+        # submit() loop (checked before the plain service/ prefix)
+        return "serial"
     if name.startswith("service/"):
         return "cold"
     if name.startswith("repair/"):
@@ -478,6 +608,39 @@ def default_kernels() -> list[Kernel]:
                 baseline=_service_cold,
             )
         )
+    # service/concurrent/* kernels: the hardened concurrent front's
+    # 40-request workload at 1 and 4 thread workers (warm), 4 workers
+    # against an empty store (cold: singleflight pays one build), and
+    # two worker processes sharing one store directory (locking; zero
+    # corrupt reads asserted in the body).  Baselines are the serial
+    # submit() loop over the identical workload (DESIGN.md §3.12).
+    for workers in (1, 4):
+        kernels.append(
+            Kernel(
+                f"service/concurrent/warm_w{workers}",
+                _concurrent_input(workers),
+                _concurrent_warm,
+                repeats=3,
+                baseline=_concurrent_serial,
+            )
+        )
+    kernels.append(
+        Kernel(
+            "service/concurrent/cold_w4",
+            _concurrent_cold_input,
+            _concurrent_cold,
+            repeats=2,
+            baseline=_concurrent_cold_serial,
+        )
+    )
+    kernels.append(
+        Kernel(
+            "service/concurrent/procs_p2",
+            _concurrent_procs_input,
+            _concurrent_procs,
+            repeats=1,
+        )
+    )
     # repair/* kernels: incremental spanner repair after one churn
     # epoch, with the cold distributed rebuild of the post-churn graph
     # as the baseline (acceptance: >= 3x at n=2000, DESIGN.md §3.9).
@@ -813,7 +976,11 @@ def render_serving_section(doc: dict) -> str:
         "|---|---:|---:|---:|---:|---:|---:|---:|",
     ]
     for name, entry in doc["kernels"].items():
-        if not name.startswith("service/") or "baseline_seconds" not in entry:
+        if (
+            not name.startswith("service/")
+            or name.startswith("service/concurrent/")
+            or "baseline_seconds" not in entry
+        ):
             continue
         warm = entry["seconds"]
         cold = entry["baseline_seconds"]
@@ -832,6 +999,45 @@ def render_serving_section(doc: dict) -> str:
         "replays — the paper's free lunch as a served-traffic number "
         "(DESIGN.md §3.8)."
     )
+    concurrent = {
+        name: entry
+        for name, entry in doc["kernels"].items()
+        if name.startswith("service/concurrent/")
+    }
+    if concurrent:
+        requests = _concurrent_requests()
+        lines.append("")
+        lines.append(
+            "| kernel | requests | batch | req/s | serial batch | serial req/s | speedup |"
+        )
+        lines.append("|---|---:|---:|---:|---:|---:|---:|")
+        for name, entry in concurrent.items():
+            seconds = entry["seconds"]
+            if "baseline_seconds" in entry:
+                serial = entry["baseline_seconds"]
+                tail = (
+                    f"{serial:.3f}s | {requests / serial:.1f} | "
+                    f"**{entry['speedup']:.2f}x** |"
+                )
+            else:
+                tail = "— | — | — |"
+            lines.append(
+                f"| `{name}` | {requests} | {seconds:.3f}s | "
+                f"{requests / seconds:.1f} | {tail}"
+            )
+        lines.append("")
+        lines.append(
+            f"The `service/concurrent/*` rows push a {requests}-request "
+            f"workload (the same {batch} payload families round-robined "
+            f"{_CONCURRENT_DUP}x) through `ConcurrentSimulationService` — "
+            "singleflight coalesces cold builds, the batching window merges "
+            "duplicate payloads across worker threads, and `procs_p2` splits "
+            "the workload over two processes sharing one locked store "
+            "directory (zero corrupt reads asserted).  The serial column "
+            "replays the identical workload through a 1-worker `submit()` "
+            "loop, so the speedup is what coalescing buys at the same "
+            "correctness bar (DESIGN.md §3.12)."
+        )
     lines.append(SERVING_END)
     return "\n".join(lines)
 
@@ -881,7 +1087,12 @@ def render_readme_section(doc: dict) -> str:
         "`service/*` kernels time one warm payload batch through "
         "`SimulationService`; their cold baseline serves the same batch "
         "with an empty artifact store (DESIGN.md §3.8 — see the Serving "
-        "section).  `repair/*` kernels time the incremental spanner "
+        "section).  `service/concurrent/*` kernels push a duplicated "
+        "40-request workload through `ConcurrentSimulationService` at 1 "
+        "and 4 thread workers and across 2 processes sharing one locked "
+        "store directory; their serial baseline replays the identical "
+        "workload through a 1-worker `submit()` loop (DESIGN.md §3.12)."
+        "  `repair/*` kernels time the incremental spanner "
         "repair after one churn epoch; their rebuild baseline is a cold "
         "distributed construction of the same post-churn graph "
         "(DESIGN.md §3.9).  `runtime_vec/*` kernels time the array-"

@@ -34,3 +34,13 @@ class SimulationError(ReproError):
 
 class ValidationError(ReproError):
     """An analysis-time invariant check failed (e.g. not a spanner)."""
+
+
+class ServiceTimeout(ReproError):
+    """A served request ran out of its deadline while waiting.
+
+    Raised by the concurrent serving front when a request's deadline
+    expires before a shared build, a merged replay, or the serve slot
+    becomes available — a bounded, counted refusal
+    (``ServiceMetrics.timeouts``), never an unbounded block.
+    """

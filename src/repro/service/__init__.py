@@ -1,10 +1,16 @@
 """Amortized simulation serving over the artifact store.
 
 See :mod:`repro.service.service` for the request/response types and
-:class:`SimulationService`; the underlying cache lives in
-:mod:`repro.store`.
+:class:`SimulationService`; :mod:`repro.service.concurrent` for the
+thread-safe front with singleflight coalescing, batching-window
+merging and deadlines; :mod:`repro.service.chaos` for the
+``REPRO_STORE_CHAOS`` fault-injection hook.  The underlying cache
+lives in :mod:`repro.store`.
 """
 
+from repro.errors import ServiceTimeout
+from repro.service.chaos import CHAOS_ENV_VAR, ChaosPlan, chaos_from_env
+from repro.service.concurrent import ConcurrentSimulationService, RequestTrace
 from repro.service.service import (
     ServiceMetrics,
     SimulationRequest,
@@ -13,8 +19,14 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosPlan",
+    "ConcurrentSimulationService",
+    "RequestTrace",
     "ServiceMetrics",
+    "ServiceTimeout",
     "SimulationRequest",
     "SimulationResponse",
     "SimulationService",
+    "chaos_from_env",
 ]

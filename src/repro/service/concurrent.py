@@ -1,0 +1,501 @@
+"""The hardened concurrent serving front (DESIGN.md §3.12).
+
+:class:`ConcurrentSimulationService` puts the amortization story of
+:class:`~repro.service.service.SimulationService` under concurrent
+load: thousands of in-flight :class:`SimulationRequest`\\ s from many
+threads (and, through the store's file locks, many processes) share
+one artifact build instead of trampling each other.  Three layers of
+sharing, outermost first:
+
+* a **batching window** (``merge_window`` seconds) merges *identical*
+  requests — same payload object, same knobs, the exact identity token
+  of ``serve()``'s intra-batch dedupe — across callers into one shared
+  replay.  Followers wait on the in-flight serve, repeats within the
+  window reuse the completed response; both are counted ``merged``;
+* a per-artifact-key **singleflight** gate: N concurrent requests on a
+  *cold* graph elect one leader to pay the spanner construction while
+  the followers block on its completion and then serve warm — exactly
+  one build, ``coalesced`` counted per follower.  A leader that fails
+  wakes its followers to re-elect rather than leaving them hung;
+* the **serve slot**: the inner service's replay machinery is
+  single-threaded by design, so actual serves serialize through one
+  lock.  Throughput under concurrency comes from the two layers above
+  doing fewer serves, not from racing the interpreter.
+
+Every wait honours a per-request **deadline** (``deadline=`` on the
+service or the call): waiting on a merge, a flight, or the serve slot
+past the deadline raises :class:`~repro.errors.ServiceTimeout` and
+counts ``timeouts`` — a bounded, counted refusal, never an unbounded
+block, and never a half-served response.
+
+Each request leaves a :class:`RequestTrace` span record (outcome,
+phase timings, fetch provenance) exportable as JSON lines via
+:meth:`ConcurrentSimulationService.dump_traces` — the structured
+complement to the cumulative :class:`ServiceMetrics` counters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+from repro.algorithms.base import LocalAlgorithm
+from repro.core.params import SamplerParams
+from repro.errors import ServiceTimeout
+from repro.local.network import Network
+from repro.service.service import (
+    ServiceMetrics,
+    SimulationRequest,
+    SimulationResponse,
+    SimulationService,
+)
+from repro.store.keys import spanner_key
+from repro.store.store import ArtifactStore
+
+__all__ = [
+    "ConcurrentSimulationService",
+    "RequestTrace",
+    "ServiceTimeout",
+]
+
+# The recently-completed side of the batching window is pruned by age
+# (merge_window seconds) on every registration; the cap below bounds it
+# against a caller that floods distinct tokens faster than they age out.
+_RECENT_CAP = 256
+
+
+@dataclass
+class RequestTrace:
+    """One request's span record for the JSON-lines trace export."""
+
+    request_id: int
+    algo: str
+    fingerprint: str  # graph fingerprint prefix ("" = service default)
+    outcome: str  # "served" | "merged" | "timeout" | "error"
+    coalesced: bool = False  # waited behind a singleflight leader
+    cold: bool = False
+    spanner_source: str = ""
+    schedule_source: str = ""
+    wait_seconds: float = 0.0  # queueing: merge + flight + slot waits
+    serve_seconds: float = 0.0  # actual replay time inside the slot
+    total_seconds: float = 0.0
+    thread: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+class _Flight:
+    """One in-progress build that singleflight followers wait on."""
+
+    __slots__ = ("event", "waiters")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.waiters = 0
+
+
+class _Pending:
+    """One in-progress serve that batching-window followers wait on."""
+
+    __slots__ = ("event", "response")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: SimulationResponse | None = None
+
+
+class ConcurrentSimulationService:
+    """Thread-safe serving front over one :class:`SimulationService`.
+
+    Construct it either around an existing service (``service=``) or
+    with the inner service's own constructor arguments.  ``submit`` is
+    safe to call from any number of threads; ``serve`` fans a batch out
+    over an internal pool of ``max_workers`` threads.  Responses are
+    bit-identical to the inner service's — and therefore to a fresh
+    ``run_one_stage`` — whatever the interleaving; the concurrency
+    layers only decide *who pays* for shared work, never what a
+    response contains.
+    """
+
+    def __init__(
+        self,
+        network: Network | None = None,
+        *,
+        service: SimulationService | None = None,
+        store: ArtifactStore | None = None,
+        params: SamplerParams | None = None,
+        gamma: int = 1,
+        seed: int = 0,
+        build_jobs: int | None = None,
+        max_workers: int = 4,
+        merge_window: float = 0.05,
+        deadline: float | None = None,
+        trace: bool = True,
+    ) -> None:
+        if service is not None and (
+            network is not None or store is not None or params is not None
+        ):
+            raise ValueError(
+                "pass either service= or the inner service's constructor "
+                "arguments, not both"
+            )
+        if service is None:
+            service = SimulationService(
+                network,
+                store=store,
+                params=params,
+                gamma=gamma,
+                seed=seed,
+                build_jobs=build_jobs,
+            )
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if merge_window < 0:
+            raise ValueError("merge_window must be >= 0")
+        self.service = service
+        self.max_workers = max_workers
+        self.merge_window = merge_window
+        self.deadline = deadline
+        self.trace = trace
+        self._traces: list[RequestTrace] = []
+        self._next_id = 0
+        self._trace_lock = threading.Lock()
+        # The inner service's replay path (subnet memo, lineage walk,
+        # metrics sync) is single-threaded by design; every actual
+        # serve holds this.
+        self._serve_lock = threading.Lock()
+        self._flight_lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._merge_lock = threading.Lock()
+        self._pending: dict[tuple, _Pending] = {}
+        self._recent: dict[tuple, tuple[SimulationResponse, float]] = {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> ServiceMetrics:
+        return self.service.metrics
+
+    @property
+    def store(self) -> ArtifactStore:
+        return self.service.store
+
+    def __enter__(self) -> "ConcurrentSimulationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Drain and release the internal worker pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # the serving surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: SimulationRequest | LocalAlgorithm,
+        *,
+        deadline: float | None = None,
+    ) -> SimulationResponse:
+        """Serve one request from the calling thread.
+
+        ``deadline`` (seconds, overriding the service default) bounds
+        every wait — merge, flight, serve slot — not the replay itself
+        once started; expiry raises :class:`ServiceTimeout`.
+        """
+        if isinstance(request, LocalAlgorithm):
+            request = SimulationRequest(algo=request)
+        limit = self.deadline if deadline is None else deadline
+        started = time.monotonic()
+        expires = None if limit is None else started + limit
+        spans = {"serve": 0.0}
+        token = self._token(request)
+        pending: _Pending | None = None
+        try:
+            if self.merge_window > 0:
+                shared, pending = self._join_or_lead(token, expires)
+                if shared is not None:
+                    self.metrics.bump(merged=1)
+                    self.metrics.observe_shared(shared)
+                    self._record(request, started, spans, "merged", shared)
+                    return shared
+            response, coalesced = self._serve_singleflight(
+                request, expires, spans
+            )
+        except BaseException as exc:
+            if pending is not None:
+                self._abandon(token, pending)
+            outcome = "timeout" if isinstance(exc, ServiceTimeout) else "error"
+            self._record(request, started, spans, outcome, None)
+            raise
+        if pending is not None:
+            self._publish(token, pending, response)
+        self._record(
+            request, started, spans, "served", response, coalesced=coalesced
+        )
+        return response
+
+    def serve(
+        self,
+        requests: Iterable[SimulationRequest | LocalAlgorithm],
+        *,
+        deadline: float | None = None,
+    ) -> list[SimulationResponse]:
+        """Serve a batch concurrently; responses come back in order.
+
+        The batch fans out over the internal ``max_workers`` pool, so
+        identical requests coalesce through the batching window and
+        cold keys through singleflight exactly as independent callers
+        would.
+        """
+        items = [
+            item
+            if isinstance(item, SimulationRequest)
+            else SimulationRequest(algo=item)
+            for item in requests
+        ]
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self.submit, item, deadline=deadline) for item in items
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # trace export
+    # ------------------------------------------------------------------
+    @property
+    def traces(self) -> tuple[RequestTrace, ...]:
+        with self._trace_lock:
+            return tuple(self._traces)
+
+    def trace_lines(self) -> list[str]:
+        """Every recorded span as one JSON object per line."""
+        return [trace.to_json() for trace in self.traces]
+
+    def dump_traces(self, path) -> int:
+        """Write the span records as JSON lines; returns the count."""
+        lines = self.trace_lines()
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+
+    # ------------------------------------------------------------------
+    # the batching window
+    # ------------------------------------------------------------------
+    def _token(self, request: SimulationRequest) -> tuple:
+        # The exact identity token of SimulationService.serve()'s
+        # intra-batch dedupe — holding the payload object itself keeps
+        # it alive so a recycled id can never alias two algorithms.
+        return (
+            request.algo,
+            None if request.network is None else request.network.fingerprint(),
+            request.t,
+            request.radius,
+            request.params,
+            request.seed,
+            request.engine,
+            request.scheduler,
+            request.distance_engine,
+            request.round_engine,
+            request.faults,
+            request.allow_stale,
+        )
+
+    def _join_or_lead(
+        self, token: tuple, expires: float | None
+    ) -> tuple[SimulationResponse | None, _Pending | None]:
+        """Enter the batching window for ``token``.
+
+        Returns ``(response, None)`` when the window supplied a shared
+        response, ``(None, pending)`` when this caller leads the token
+        and must publish, and ``(None, None)`` when a failed leader
+        leaves this caller to serve solo.
+        """
+        with self._merge_lock:
+            pending = self._pending.get(token)
+            if pending is None:
+                now = time.monotonic()
+                entry = self._recent.get(token)
+                if entry is not None and now - entry[1] <= self.merge_window:
+                    return entry[0], None
+                self._prune_recent(now)
+                pending = self._pending[token] = _Pending()
+                return None, pending
+        if not pending.event.wait(self._remaining(expires)):
+            self.metrics.bump(timeouts=1)
+            raise ServiceTimeout(
+                "deadline expired waiting on a merged in-flight serve"
+            )
+        if pending.response is not None:
+            return pending.response, None
+        return None, None  # leader failed: degrade to a solo serve
+
+    def _publish(
+        self, token: tuple, pending: _Pending, response: SimulationResponse
+    ) -> None:
+        with self._merge_lock:
+            self._pending.pop(token, None)
+            self._recent[token] = (response, time.monotonic())
+        pending.response = response
+        pending.event.set()
+
+    def _abandon(self, token: tuple, pending: _Pending) -> None:
+        with self._merge_lock:
+            self._pending.pop(token, None)
+        pending.event.set()  # response stays None: followers serve solo
+
+    def _prune_recent(self, now: float) -> None:
+        expired = [
+            key
+            for key, (_, stamp) in self._recent.items()
+            if now - stamp > self.merge_window
+        ]
+        for key in expired:
+            del self._recent[key]
+        while len(self._recent) > _RECENT_CAP:
+            del self._recent[next(iter(self._recent))]
+
+    # ------------------------------------------------------------------
+    # singleflight
+    # ------------------------------------------------------------------
+    def _serve_singleflight(
+        self,
+        request: SimulationRequest,
+        expires: float | None,
+        spans: dict,
+    ) -> tuple[SimulationResponse, bool]:
+        """Serve with at most one concurrent build per artifact key."""
+        network = (
+            request.network
+            if request.network is not None
+            else self.service.network
+        )
+        params = (
+            request.params if request.params is not None else self.service.params
+        )
+        coalesced = False
+        if network is not None:
+            key = spanner_key(network.fingerprint(), params)
+            while not self.store.contains_spanner(network, params):
+                with self._flight_lock:
+                    flight = self._flights.get(key)
+                    leads = flight is None
+                    if leads:
+                        flight = self._flights[key] = _Flight()
+                    else:
+                        flight.waiters += 1
+                if leads:
+                    try:
+                        return self._serve(request, expires, spans), coalesced
+                    finally:
+                        # Wake followers whatever happened; on failure
+                        # the store is still cold and they re-elect.
+                        with self._flight_lock:
+                            self._flights.pop(key, None)
+                        flight.event.set()
+                if not flight.event.wait(self._remaining(expires)):
+                    self.metrics.bump(timeouts=1)
+                    raise ServiceTimeout(
+                        "deadline expired waiting on the shared build of "
+                        f"{key[:12]}…"
+                    )
+                if not coalesced:
+                    coalesced = True
+                    self.metrics.bump(coalesced=1)
+        return self._serve(request, expires, spans), coalesced
+
+    # ------------------------------------------------------------------
+    # the serve slot
+    # ------------------------------------------------------------------
+    def _serve(
+        self,
+        request: SimulationRequest,
+        expires: float | None,
+        spans: dict,
+    ) -> SimulationResponse:
+        remaining = self._remaining(expires)
+        if remaining is None:
+            self._serve_lock.acquire()
+        elif not self._serve_lock.acquire(timeout=remaining):
+            self.metrics.bump(timeouts=1)
+            raise ServiceTimeout("deadline expired waiting for the serve slot")
+        started = time.monotonic()
+        try:
+            return self.service.submit(request)
+        finally:
+            self._serve_lock.release()
+            spans["serve"] += time.monotonic() - started
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _remaining(expires: float | None) -> float | None:
+        if expires is None:
+            return None
+        return max(0.0, expires - time.monotonic())
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-serve",
+                )
+            return self._pool
+
+    def _record(
+        self,
+        request: SimulationRequest,
+        started: float,
+        spans: dict,
+        outcome: str,
+        response: SimulationResponse | None,
+        *,
+        coalesced: bool = False,
+    ) -> None:
+        if not self.trace:
+            return
+        total = time.monotonic() - started
+        serve_seconds = spans.get("serve", 0.0)
+        network = (
+            request.network
+            if request.network is not None
+            else self.service.network
+        )
+        trace = RequestTrace(
+            request_id=0,  # assigned under the lock below
+            algo=getattr(request.algo, "name", type(request.algo).__name__),
+            fingerprint="" if network is None else network.fingerprint()[:12],
+            outcome=outcome,
+            coalesced=coalesced,
+            cold=response.cold if response is not None else False,
+            spanner_source=(
+                response.spanner_info.source if response is not None else ""
+            ),
+            schedule_source=(
+                response.schedule_info.source
+                if response is not None and response.schedule_info is not None
+                else ""
+            ),
+            wait_seconds=max(0.0, total - serve_seconds),
+            serve_seconds=serve_seconds,
+            total_seconds=total,
+            thread=threading.current_thread().name,
+        )
+        with self._trace_lock:
+            self._next_id += 1
+            trace.request_id = self._next_id
+            self._traces.append(trace)

@@ -29,7 +29,8 @@ the free lunch visible as a served-traffic number.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.algorithms.base import LocalAlgorithm
@@ -144,7 +145,14 @@ class SimulationResponse:
 
 @dataclass
 class ServiceMetrics:
-    """Cumulative served-traffic accounting."""
+    """Cumulative served-traffic accounting.
+
+    Thread-safe: observations and :meth:`bump` mutate under one
+    internal lock, and :meth:`snapshot` reads under it, so the
+    concurrent front's worker threads can hammer one metrics object and
+    any snapshot is internally consistent (a request is never visible
+    without the hit/build it implied).
+    """
 
     requests: int = 0
     cold_serves: int = 0
@@ -154,6 +162,11 @@ class ServiceMetrics:
     rebuilds: int = 0
     retries: int = 0
     stale_served: int = 0
+    coalesced: int = 0  # singleflight followers sharing a leader's build
+    merged: int = 0  # batching-window repeats sharing one replay
+    timeouts: int = 0  # requests that hit their deadline
+    lock_contended: int = 0  # mirrored from StoreStats by the service
+    lock_reclaimed: int = 0
     schedule_hits: int = 0
     schedule_builds: int = 0
     schedule_truncations: int = 0
@@ -164,37 +177,77 @@ class ServiceMetrics:
     simulation_messages: int = 0
     simulation_rounds: int = 0
 
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    _COUNTERS = (
+        "requests",
+        "cold_serves",
+        "spanner_hits",
+        "spanner_builds",
+        "repairs",
+        "rebuilds",
+        "retries",
+        "stale_served",
+        "coalesced",
+        "merged",
+        "timeouts",
+        "lock_contended",
+        "lock_reclaimed",
+        "schedule_hits",
+        "schedule_builds",
+        "schedule_truncations",
+        "schedule_extensions",
+        "schedule_bypasses",
+        "construction_messages_paid",
+        "construction_rounds_paid",
+        "simulation_messages",
+        "simulation_rounds",
+    )
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add to any subset of counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {name: getattr(self, name) for name in self._COUNTERS}
+
     def observe(self, response: SimulationResponse) -> None:
-        self.requests += 1
-        source = response.spanner_info.source
-        if response.cold:
-            self.cold_serves += 1
-            self.spanner_builds += 1
-            self.construction_messages_paid += response.construction_messages_paid
-            rounds = response.spanner.rounds
-            self.construction_rounds_paid += rounds if rounds is not None else 0
-        elif source == "repaired":
-            # Neither a hit nor a cold build: construction was healed
-            # from a cached ancestor at no metered message cost.
-            self.repairs += 1
-        elif source == "stale":
-            self.stale_served += 1
-            self.spanner_hits += 1  # served entirely from cache — an
-            # ancestor's entry, which is exactly what the flag allows
-        else:
-            self.spanner_hits += 1
-        info = response.schedule_info
-        if info is not None:
-            if info.source == "built":
-                self.schedule_builds += 1
-            elif info.source == "bypass":
-                self.schedule_bypasses += 1
+        with self._lock:
+            self.requests += 1
+            source = response.spanner_info.source
+            if response.cold:
+                self.cold_serves += 1
+                self.spanner_builds += 1
+                self.construction_messages_paid += response.construction_messages_paid
+                rounds = response.spanner.rounds
+                self.construction_rounds_paid += rounds if rounds is not None else 0
+            elif source == "repaired":
+                # Neither a hit nor a cold build: construction was healed
+                # from a cached ancestor at no metered message cost.
+                self.repairs += 1
+            elif source == "stale":
+                self.stale_served += 1
+                self.spanner_hits += 1  # served entirely from cache — an
+                # ancestor's entry, which is exactly what the flag allows
             else:
-                self.schedule_hits += 1
-            self.schedule_truncations += int(info.truncated)
-            self.schedule_extensions += int(info.extended)
-        self.simulation_messages += response.simulation.total_messages
-        self.simulation_rounds += response.simulation.rounds
+                self.spanner_hits += 1
+            info = response.schedule_info
+            if info is not None:
+                if info.source == "built":
+                    self.schedule_builds += 1
+                elif info.source == "bypass":
+                    self.schedule_bypasses += 1
+                else:
+                    self.schedule_hits += 1
+                self.schedule_truncations += int(info.truncated)
+                self.schedule_extensions += int(info.extended)
+            self.simulation_messages += response.simulation.total_messages
+            self.simulation_rounds += response.simulation.rounds
 
     def observe_shared(self, response: SimulationResponse) -> None:
         """Record a deduplicated repeat of an already-served response.
@@ -203,10 +256,11 @@ class ServiceMetrics:
         caches — it paid no construction and sent no new simulation
         messages, so only the hit counters move.
         """
-        self.requests += 1
-        self.spanner_hits += 1
-        if response.schedule_info is not None:
-            self.schedule_hits += 1
+        with self._lock:
+            self.requests += 1
+            self.spanner_hits += 1
+            if response.schedule_info is not None:
+                self.schedule_hits += 1
 
     # ------------------------------------------------------------------
     # the amortization story
@@ -286,6 +340,22 @@ class SimulationService:
         # first-contact cold serve, and is counted separately.
         self._served: set[str] = set()
         self._retries_seen = 0
+        self._locks_seen = (0, 0)  # (lock_contended, lock_reclaimed)
+
+    @property
+    def network(self) -> Network | None:
+        """The service's default graph (``None`` = per-request only)."""
+        return self._network
+
+    @property
+    def params(self) -> SamplerParams:
+        """The service's default construction parameters."""
+        return self._params
+
+    @property
+    def seed(self) -> int:
+        """The service's default payload seed."""
+        return self._seed
 
     # ------------------------------------------------------------------
     # churn lineage
@@ -510,7 +580,7 @@ class SimulationService:
                 round_engine=request.round_engine,
             )
             if info.source == "built" and known:
-                self.metrics.rebuilds += 1
+                self.metrics.bump(rebuilds=1)
         self._served.add(fingerprint)
         return spanner, info
 
@@ -527,7 +597,17 @@ class SimulationService:
             return None
 
     def _sync_retries(self) -> None:
-        """Surface the store's transient-I/O retries in service metrics."""
-        seen = self.store.stats.retries
-        self.metrics.retries += seen - self._retries_seen
-        self._retries_seen = seen
+        """Surface the store's resilience counters in service metrics.
+
+        Deltas (not absolutes) so a store shared by several services
+        attributes each retry/lock event to at most one of them.
+        """
+        snap = self.store.stats.snapshot()
+        contended, reclaimed = self._locks_seen
+        self.metrics.bump(
+            retries=snap["retries"] - self._retries_seen,
+            lock_contended=snap["lock_contended"] - contended,
+            lock_reclaimed=snap["lock_reclaimed"] - reclaimed,
+        )
+        self._retries_seen = snap["retries"]
+        self._locks_seen = (snap["lock_contended"], snap["lock_reclaimed"])

@@ -13,13 +13,18 @@ number of ``t``-round simulations.  This package makes that operational
   :class:`~repro.simulate.tlocal.FloodSchedule`, plus
   :class:`FloodProfile`, the truncatable cached form of a flood;
 * :mod:`repro.store.store` — :class:`ArtifactStore` (in-memory LRU +
-  optional on-disk layer with atomic writes and corruption-tolerant
-  reads) and the ``REPRO_STORE``-driven process default.
+  optional on-disk layer with atomic writes, corruption-tolerant
+  reads with seeded-jitter retry backoff, and per-key cross-process
+  build locks) and the ``REPRO_STORE``-driven process default;
+* :mod:`repro.store.locks` — :class:`FileLock`, the ``fcntl``-based
+  per-artifact mutex with dead-holder reclamation that lets multiple
+  worker processes share one store directory safely.
 
 The serving layer on top lives in :mod:`repro.service`.
 """
 
 from repro.store.keys import STORE_SCHEMA, flood_key, spanner_key, store_key
+from repro.store.locks import FileLock, LockTimeout, pid_alive, plant_stale_lock
 from repro.store.serialize import (
     ArtifactError,
     FloodProfile,
@@ -40,13 +45,17 @@ __all__ = [
     "ArtifactError",
     "ArtifactStore",
     "FetchInfo",
+    "FileLock",
     "FloodProfile",
+    "LockTimeout",
     "STORE_SCHEMA",
     "StoreStats",
     "default_store",
     "flood_key",
     "load_flood_schedule",
     "load_spanner",
+    "pid_alive",
+    "plant_stale_lock",
     "resolve_store",
     "save_flood_schedule",
     "save_spanner",

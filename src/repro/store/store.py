@@ -25,18 +25,27 @@ turns those into hit/miss/amortization metrics.
 from __future__ import annotations
 
 import os
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import NamedTuple
+from typing import TYPE_CHECKING, NamedTuple
 
 from repro.core.params import SamplerParams
 from repro.core.spanner import SpannerResult
 from repro.graphs.distance import resolve_engine
 from repro.local.network import Network
+from repro.rng import stable_uniform
 from repro.simulate.tlocal import FloodSchedule
 from repro.store import serialize
 from repro.store.keys import flood_key, spanner_key
+from repro.store.locks import FileLock, LockTimeout
+from repro.store.locks import plant_stale_lock as _plant_stale_lock
 from repro.store.serialize import ArtifactError, FloodProfile
+
+if TYPE_CHECKING:  # runtime import is lazy — see ArtifactStore.__init__
+    from repro.service.chaos import ChaosPlan
 
 __all__ = [
     "ArtifactStore",
@@ -61,7 +70,15 @@ ENV_VAR = "REPRO_STORE"
 # How many times a disk read is retried after a transient OSError
 # before the entry degrades to a miss.  Small and bounded: a flaky NFS
 # mount gets a second chance, a dead disk cannot stall the service.
+# Overridable per store via the ``retries=`` constructor argument.
 DISK_READ_RETRIES = 2
+
+# How long one process waits on another's in-progress build of the same
+# artifact before giving up on sharing and building its own copy.  The
+# timeout degrades to duplicate *work*, never to corruption: writes stay
+# atomic regardless, so the worst case is two identical entries raced
+# through ``os.replace``.
+BUILD_LOCK_TIMEOUT = 60.0
 
 
 class FetchInfo(NamedTuple):
@@ -78,7 +95,13 @@ class FetchInfo(NamedTuple):
 
 @dataclass
 class StoreStats:
-    """Cumulative counters over one store's lifetime."""
+    """Cumulative counters over one store's lifetime.
+
+    Thread-safe: every mutation goes through :meth:`bump` under one
+    internal lock, and :meth:`snapshot` reads under the same lock, so a
+    snapshot taken while worker threads hammer the store is internally
+    consistent (it never shows, say, a retry whose miss is missing).
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
@@ -88,22 +111,43 @@ class StoreStats:
     puts: int = 0
     bypasses: int = 0
     retries: int = 0
+    backoff_waits: int = 0
+    lock_contended: int = 0
+    lock_reclaimed: int = 0
+    chaos_injected: int = 0
+
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    _COUNTERS = (
+        "memory_hits",
+        "disk_hits",
+        "misses",
+        "evictions",
+        "corrupt",
+        "puts",
+        "bypasses",
+        "retries",
+        "backoff_waits",
+        "lock_contended",
+        "lock_reclaimed",
+        "chaos_injected",
+    )
 
     @property
     def hits(self) -> int:
         return self.memory_hits + self.disk_hits
 
+    def bump(self, **deltas: int) -> None:
+        """Atomically add to any subset of counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
     def snapshot(self) -> dict:
-        return {
-            "memory_hits": self.memory_hits,
-            "disk_hits": self.disk_hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "corrupt": self.corrupt,
-            "puts": self.puts,
-            "bypasses": self.bypasses,
-            "retries": self.retries,
-        }
+        with self._lock:
+            return {name: getattr(self, name) for name in self._COUNTERS}
 
 
 @dataclass
@@ -165,13 +209,48 @@ class ArtifactStore:
         *,
         capacity: int = 64,
         byte_budget: int = MEMORY_BYTE_BUDGET,
+        retries: int = DISK_READ_RETRIES,
+        backoff: float = 0.0,
+        backoff_seed: int = 0,
+        locking: bool = True,
+        lock_timeout: float = BUILD_LOCK_TIMEOUT,
+        chaos: "ChaosPlan | None" = None,
     ) -> None:
+        """``retries``/``backoff`` shape the transient-I/O retry loop:
+        attempt ``i`` waits ``backoff * 2**i`` seconds scaled by a
+        deterministic jitter from ``backoff_seed`` (the default
+        ``backoff=0.0`` keeps the historical immediate retry).
+        ``locking`` enables per-key ``fcntl`` build locks on the disk
+        layer so processes sharing the directory coalesce builds;
+        ``chaos`` (or the ``REPRO_STORE_CHAOS`` env spec) injects
+        counted faults into the read path — see :mod:`repro.service.chaos`.
+        """
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
         self._dir = Path(path) if path is not None else None
         self._lru = _Lru(capacity, byte_budget)
         self._diameters: dict[str, int] = {}
         self.stats = StoreStats()
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_seed = backoff_seed
+        self.locking = locking
+        self.lock_timeout = lock_timeout
+        if chaos is None:
+            # Lazy: repro.service.chaos sits under the service package,
+            # whose __init__ imports service.py, which imports us.
+            from repro.service.chaos import chaos_from_env
+
+            chaos = chaos_from_env()
+        self.chaos = chaos
+        # Guards the in-memory layer (LRU order + diameter memos); disk
+        # reads/writes run outside it — they are atomic on their own.
+        self._mem_lock = threading.RLock()
+        self._tick = 0
 
     @property
     def directory(self) -> Path | None:
@@ -180,9 +259,10 @@ class ArtifactStore:
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""
-        self._lru.entries.clear()
-        self._lru.weighed_bytes = 0
-        self._diameters.clear()
+        with self._mem_lock:
+            self._lru.entries.clear()
+            self._lru.weighed_bytes = 0
+            self._diameters.clear()
 
     # ------------------------------------------------------------------
     # spanners
@@ -208,11 +288,22 @@ class ArtifactStore:
             return cached, info
         from repro.core.distributed import build_spanner_distributed
 
-        self.stats.misses += 1
-        built = build_spanner_distributed(
-            network, params, scheduler=scheduler, engine=round_engine
-        )
-        self.put_spanner(built)
+        key = spanner_key(network.fingerprint(), params)
+        with self._build_lock(key) as lock:
+            # Re-check only after waiting out a *live* holder — it was
+            # building exactly this entry, so the miss is now a disk
+            # hit.  An uncontended (or reclaimed-from-a-dead-holder)
+            # acquisition cannot have new disk state, and skipping the
+            # probe keeps serial hit/miss/corrupt counts exact.
+            if lock is not None and lock.contended:
+                cached, info = self.peek_spanner(network, params)
+                if cached is not None:
+                    return cached, info
+            self.stats.bump(misses=1)
+            built = build_spanner_distributed(
+                network, params, scheduler=scheduler, engine=round_engine
+            )
+            self.put_spanner(built)
         return built, FetchInfo("built")
 
     def peek_spanner(
@@ -225,16 +316,33 @@ class ArtifactStore:
         peeks ancestors without charging a miss per probe).
         """
         key = spanner_key(network.fingerprint(), params)
-        cached = self._lru.get(key)
+        with self._mem_lock:
+            cached = self._lru.get(key)
         if cached is not None:
-            self.stats.memory_hits += 1
+            self.stats.bump(memory_hits=1)
             return cached, FetchInfo("memory")
         loaded = self._load(key, self._checked_spanner, network, params)
         if loaded is not None:
-            self.stats.disk_hits += 1
+            self.stats.bump(disk_hits=1)
             self._remember(key, loaded)
             return loaded, FetchInfo("disk")
         return None, None
+
+    def contains_spanner(self, network: Network, params: SamplerParams) -> bool:
+        """Uncounted presence probe: is this spanner already cached?
+
+        Touches neither the hit/miss counters nor the LRU recency
+        order — the concurrent front uses it to decide whether a
+        request is cold (worth singleflighting) without the probe
+        itself polluting the metrics the tests assert on.
+        """
+        key = spanner_key(network.fingerprint(), params)
+        with self._mem_lock:
+            if key in self._lru.entries:
+                return True
+        if self._dir is None:
+            return False
+        return self._entry_path(key).exists()
 
     def put_spanner(self, result: SpannerResult) -> None:
         """Insert an externally built (or repaired) spanner, write-through.
@@ -250,7 +358,7 @@ class ArtifactStore:
     def note_miss(self) -> None:
         """Count a miss decided outside :meth:`fetch_spanner` (e.g. a
         failed peek the service answered by repair instead of build)."""
-        self.stats.misses += 1
+        self.stats.bump(misses=1)
 
     def spanner(
         self,
@@ -288,11 +396,12 @@ class ArtifactStore:
         radius = max(0, radius)
         name = resolve_engine(engine)
         if spanner.n * spanner.n > PROFILE_CELL_LIMIT:
-            self.stats.bypasses += 1
+            self.stats.bump(bypasses=1)
             return derive(spanner, radius, engine=name), FetchInfo("bypass")
         fingerprint = spanner.fingerprint()
         key = flood_key(fingerprint, name)
-        profile = self._lru.get(key)
+        with self._mem_lock:
+            profile = self._lru.get(key)
         source = "memory"
         if profile is None:
             profile = self._load(key, self._checked_profile, fingerprint, name)
@@ -300,19 +409,29 @@ class ArtifactStore:
             if profile is not None:
                 self._remember(key, profile)
         if profile is not None and profile.radius >= radius:
-            if source == "memory":
-                self.stats.memory_hits += 1
-            else:
-                self.stats.disk_hits += 1
+            self.stats.bump(**{f"{source}_hits": 1})
             return (
                 profile.schedule(radius),
                 FetchInfo(source, truncated=radius < profile.radius),
             )
         extended = profile is not None  # cached, but radius outgrew it
-        self.stats.misses += 1
-        profile = FloodProfile.build(spanner, radius, engine=name)
-        self._remember(key, profile)
-        self._persist(key, lambda path, p: p.to_npz(path), profile)
+        with self._build_lock(key) as lock:
+            # A waited-out live holder may have written a large-enough
+            # profile; re-read before building (and only then — see the
+            # matching note in fetch_spanner).
+            if lock is not None and lock.contended:
+                fresh = self._load(key, self._checked_profile, fingerprint, name)
+                if fresh is not None and fresh.radius >= radius:
+                    self.stats.bump(disk_hits=1)
+                    self._remember(key, fresh)
+                    return (
+                        fresh.schedule(radius),
+                        FetchInfo("disk", truncated=radius < fresh.radius),
+                    )
+            self.stats.bump(misses=1)
+            profile = FloodProfile.build(spanner, radius, engine=name)
+            self._remember(key, profile)
+            self._persist(key, lambda path, p: p.to_npz(path), profile)
         return profile.schedule(radius), FetchInfo("built", extended=extended)
 
     def flood_schedule(
@@ -365,11 +484,14 @@ class ArtifactStore:
     def graph_diameter(self, network: Network, *, engine: str | None = None) -> int:
         """Memoized exact diameter (see ``simulate.global_tasks``)."""
         key = network.fingerprint()
-        cached = self._diameters.get(key)
+        with self._mem_lock:
+            cached = self._diameters.get(key)
         if cached is None:
             from repro.simulate.global_tasks import graph_diameter
 
-            cached = self._diameters[key] = graph_diameter(network, engine=engine)
+            cached = graph_diameter(network, engine=engine)
+            with self._mem_lock:
+                self._diameters[key] = cached
         return cached
 
     # ------------------------------------------------------------------
@@ -377,38 +499,129 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     def _remember(self, key: str, value) -> None:
         weight = value.nbytes() if isinstance(value, FloodProfile) else 0
-        self.stats.evictions += self._lru.put(key, value, weight)
+        with self._mem_lock:
+            evicted = self._lru.put(key, value, weight)
+        if evicted:
+            self.stats.bump(evictions=evicted)
 
     def _entry_path(self, key: str) -> Path:
         return self._dir / f"{key}.npz"
+
+    def _lock_path(self, key: str) -> Path:
+        return self._dir / f"{key}.lock"
+
+    def _next_tick(self) -> int:
+        """Monotone per-store counter feeding the chaos plan's coins."""
+        with self._mem_lock:
+            self._tick += 1
+            return self._tick
+
+    @contextmanager
+    def _build_lock(self, key: str):
+        """Cross-process exclusion around one artifact key's build.
+
+        Yields with the per-key ``fcntl`` lock held (memory-only stores
+        and ``locking=False`` yield immediately — in-process callers
+        already coalesce via the service's singleflight).  Contention
+        and dead-holder reclamation are counted; a holder that outlives
+        ``lock_timeout`` degrades this caller to an *unlocked* build —
+        duplicate work through the atomic write path, never a wedged
+        store and never corruption.
+        """
+        if not self.locking or self._dir is None:
+            yield None
+            return
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._lock_path(key)
+        if self.chaos is not None and self.chaos.plant_stale_lock(
+            key, self._next_tick()
+        ) and not path.exists():
+            _plant_stale_lock(path)
+            self.stats.bump(chaos_injected=1)
+        lock = FileLock(path, timeout=self.lock_timeout, seed=self.backoff_seed)
+        try:
+            lock.acquire()
+        except LockTimeout:
+            self.stats.bump(lock_contended=1)
+            yield None
+            return
+        try:
+            self.stats.bump(
+                lock_contended=int(lock.contended),
+                lock_reclaimed=int(lock.reclaimed),
+            )
+            yield lock
+        finally:
+            lock.release()
+
+    def _backoff_sleep(self, key: str, attempt: int) -> None:
+        """Deterministic jittered wait before retry ``attempt + 1``.
+
+        ``backoff * 2**attempt`` scaled into ``[0.5x, 1.5x)`` by a
+        seeded coin — reproducible given ``backoff_seed``, but jittered
+        so a herd of workers retrying one flaky entry spreads out.  The
+        default ``backoff=0.0`` retries immediately (no wait counted),
+        preserving the historical behavior.
+        """
+        if self.backoff <= 0:
+            return
+        jitter = stable_uniform(self.backoff_seed, ("store-backoff", key, attempt))
+        self.stats.bump(backoff_waits=1)
+        time.sleep(self.backoff * (2**attempt) * (0.5 + jitter))
 
     def _load(self, key: str, loader, *args):
         """Disk lookup; any damage is a miss, never an exception.
 
         Corruption (``ArtifactError``) is a permanent counted miss.  A
-        transient ``OSError`` earns up to :data:`DISK_READ_RETRIES`
-        immediate re-reads (counted in ``stats.retries``) before the
-        entry likewise degrades to a miss — flaky I/O may cost a
-        rebuild, but it can never raise out of the store.
+        transient ``OSError`` earns up to ``self.retries`` re-reads
+        (counted in ``stats.retries``, separated by the seeded
+        :meth:`_backoff_sleep`) before the entry likewise degrades to a
+        miss — flaky I/O may cost a rebuild, but it can never raise out
+        of the store.  An active :class:`ChaosPlan` injects its faults
+        here, upstream of the same handling paths real damage takes.
         """
         if self._dir is None:
             return None
         path = self._entry_path(key)
         if not path.exists():
             return None
-        for attempt in range(DISK_READ_RETRIES + 1):
+        for attempt in range(self.retries + 1):
             try:
+                if self.chaos is not None:
+                    self._inject_load_chaos(key)
                 return loader(path, *args)
             except ArtifactError:
-                self.stats.corrupt += 1
+                self.stats.bump(corrupt=1)
                 return None
             except FileNotFoundError:
                 return None  # raced away since exists(): a plain miss
             except OSError:
-                if attempt >= DISK_READ_RETRIES:
+                if attempt >= self.retries:
                     return None
-                self.stats.retries += 1
+                self.stats.bump(retries=1)
+                self._backoff_sleep(key, attempt)
         return None
+
+    def _inject_load_chaos(self, key: str) -> None:
+        """Apply the chaos plan to one disk-read attempt.
+
+        Faults are raised *as* the exceptions real damage produces —
+        ``OSError`` for flaky/cursed I/O, ``ArtifactError`` for a
+        corrupt entry — so they exercise exactly the retry/degrade
+        machinery above, and each injection is counted.
+        """
+        tick = self._next_tick()
+        delay = self.chaos.load_delay(key, tick)
+        if delay > 0:
+            self.stats.bump(chaos_injected=1)
+            time.sleep(delay)
+        fault = self.chaos.load_fault(key, tick)
+        if fault == "oserror":
+            self.stats.bump(chaos_injected=1)
+            raise OSError(f"chaos: injected I/O failure for {key[:12]}…")
+        if fault == "corrupt":
+            self.stats.bump(chaos_injected=1)
+            raise ArtifactError(f"chaos: injected corrupt read for {key[:12]}…")
 
     def _persist(self, key: str, saver, artifact) -> None:
         """Atomic write-through; I/O failure degrades to memory-only."""
@@ -420,7 +633,7 @@ class ArtifactStore:
             self._dir.mkdir(parents=True, exist_ok=True)
             saver(tmp, artifact)
             os.replace(tmp, path)
-            self.stats.puts += 1
+            self.stats.bump(puts=1)
         except OSError:
             # A full or read-only disk must not take the service down.
             try:
