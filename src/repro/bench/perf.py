@@ -161,6 +161,35 @@ def _spanner_reference(net: Network) -> object:
     return build_spanner(net, _SPANNER_PARAMS, incremental=False)
 
 
+def _spanner_obs_off(net: Network) -> object:
+    """The flagship build with the telemetry plane forced off — the
+    ``obs/overhead`` kernel's measured body.  Forcing (rather than
+    inheriting the environment) keeps the committed baseline meaningful
+    even when the suite itself runs under ``REPRO_OBS=1``."""
+    from repro import obs
+
+    previous = obs.set_enabled(False)
+    try:
+        return build_spanner(net, _SPANNER_PARAMS)
+    finally:
+        obs.set_enabled(previous)
+
+
+def _spanner_obs_on(net: Network) -> object:
+    """The same build with the telemetry plane collecting; recorded as
+    the kernel's ``baseline_seconds``, so the committed ``speedup`` is
+    the measured obs on-cost ratio (DESIGN.md §3.13's overhead
+    contract: the *off* side must stay within the flagship's gate)."""
+    from repro import obs
+
+    previous = obs.set_enabled(True)
+    try:
+        return build_spanner(net, _SPANNER_PARAMS)
+    finally:
+        obs.set_enabled(previous)
+        obs.collector().reset()
+
+
 def _two_stage(net: Network) -> object:
     return run_two_stage(
         net, BallCollect(2), stage1_params=_SCHEME_PARAMS, stage2_k=3, seed=33
@@ -443,6 +472,10 @@ def _baseline_label(name: str) -> str:
         # the parallel-build kernels re-run the same input at jobs=1
         # (note: "spanner/" does not prefix-match "spanner_dist/")
         return "serial"
+    if name.startswith("obs/"):
+        # obs/overhead measures the telemetry-off build and baselines
+        # the same build with spans collecting: speedup == on-cost
+        return "obs-on"
     return "dense"
 
 
@@ -504,6 +537,19 @@ def default_kernels() -> list[Kernel]:
     )
     for n in (500, 1000, 2000):
         kernels.append(Kernel(f"spanner/gnp/n{n}", lambda n=n: _gnp(n), _spanner))
+    # The telemetry-plane overhead contract (DESIGN.md §3.13): the
+    # measured body is the flagship build with REPRO_OBS forced off —
+    # its gate entry proves disabled instrumentation stays free — and
+    # the baseline re-runs it with spans collecting, putting the
+    # on-cost ratio on record as the kernel's ``speedup``.
+    kernels.append(
+        Kernel(
+            "obs/overhead",
+            lambda: _gnp(2000),
+            _spanner_obs_off,
+            baseline=_spanner_obs_on,
+        )
+    )
     for side in (16, 24, 32):
         kernels.append(
             Kernel(f"spanner/torus/{side}x{side}", lambda s=side: torus(s, s), _spanner)

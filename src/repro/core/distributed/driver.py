@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro import obs
 from repro.core.distributed.program import SamplerProgram
 from repro.core.distributed.schedule import Schedule
 from repro.core.params import SamplerParams
@@ -50,15 +51,21 @@ def build_spanner_distributed(
     dispatch path.  Reports are identical either way.
     """
     schedule = Schedule.build(params)
-    report = run_program(
-        network,
-        lambda node: SamplerProgram(node, params, schedule),
-        seed=params.seed,
-        max_rounds=schedule.total_rounds + 2,
-        n_hint=network.n,
-        scheduler=scheduler,
-        engine=engine,
-    )
+    with obs.span(
+        "build/distributed", n=network.n, m=network.m
+    ) as build_span:
+        report = run_program(
+            network,
+            lambda node: SamplerProgram(node, params, schedule),
+            seed=params.seed,
+            max_rounds=schedule.total_rounds + 2,
+            n_hint=network.n,
+            scheduler=scheduler,
+            engine=engine,
+        )
+        build_span.set(
+            rounds=report.rounds, messages=report.messages.total
+        )
     if not report.halted:
         raise SimulationError("distributed Sampler did not halt")
     if report.rounds != schedule.total_rounds:

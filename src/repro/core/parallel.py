@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.params import SamplerParams
 from repro.core.trace import NodeLevelTrace
 from repro.core.trials import NodeLabel, TrialMachine, TrialStats
@@ -226,7 +227,31 @@ def _run_shard(
     this shard's clusters (arrays unordered — only membership matters).
     All outputs are keyed by ascending cluster id, so the parent reduce
     is concatenation in shard order.
+
+    When the obs plane is on, the shard's span tree (a ``build/shard``
+    root tagged with the worker pid) rides back to the parent as a
+    ``"spans"`` columnar partial, drained from this worker's collector
+    so persistent workers never accumulate state across levels.
     """
+    if not obs.enabled():
+        return _run_shard_impl(j, lo, hi, dead_items, pair_items)
+    # Forked workers inherit the parent collector's finished records;
+    # shipping those back would make the parent re-adopt its own
+    # history (duplicating it per shard, compounding per build).  Only
+    # records produced by THIS task may ride back, so clear first.
+    obs.collector().drain_records()
+    with obs.span(
+        "build/shard", level=int(j), lo=int(lo), hi=int(hi)
+    ) as shard_span:
+        out = _run_shard_impl(j, lo, hi, dead_items, pair_items)
+        shard_span.set(clusters=int(hi - lo))
+    out["spans"] = obs.collector().drain_records()
+    return out
+
+
+def _run_shard_impl(
+    j: int, lo: int, hi: int, dead_items: tuple, pair_items: tuple | None = None
+) -> dict:
     if os.environ.get(_CRASH_ENV):
         os._exit(13)
     st = _WORKER
@@ -899,6 +924,12 @@ class ParallelBuildEngine:
                 "parallel build worker crashed; shared-memory segment "
                 "released, rerun with jobs=1 to diagnose"
             ) from exc
+        # Adopt worker span partials in shard order (deterministic) and
+        # strip them before the columnar reduce sees the dicts.
+        for part in parts:
+            spans = part.pop("spans", None)
+            if spans and obs.enabled():
+                obs.collector().adopt(spans)
         return self._reduce(parts)
 
     def _reduce(self, parts: list[dict]) -> LevelPartial:

@@ -46,6 +46,7 @@ import os
 import random
 from collections import Counter
 
+from repro import obs
 from repro.core.forest import ClusterForest
 from repro.core.params import SamplerParams
 from repro.core.spanner import SpannerResult
@@ -130,12 +131,20 @@ class SamplerRun:
     # public driver
     # ------------------------------------------------------------------
     def run(self) -> SpannerResult:
-        try:
-            for j in range(self.params.levels):
-                self.run_level(j)
-        finally:
-            self.close()
-        return self.result()
+        with obs.span(
+            "build/spanner",
+            n=self.network.n,
+            m=self.network.m,
+            jobs=self._jobs,
+        ) as build_span:
+            try:
+                for j in range(self.params.levels):
+                    self.run_level(j)
+            finally:
+                self.close()
+            result = self.result()
+            build_span.set(edges=len(result.edges))
+        return result
 
     def close(self) -> None:
         """Release the parallel engine (pool + shared memory), if any.
@@ -161,6 +170,19 @@ class SamplerRun:
     def run_level(self, j: int) -> LevelTrace:
         if j != self._level_done:
             raise SimulationError(f"levels must run in order; expected {self._level_done}")
+        if not obs.enabled():
+            return self._run_level_inner(j)
+        parallel_path = bool(self._active and self._parallel_level_ok(j))
+        with obs.span(
+            "build/level", level=j, parallel=parallel_path
+        ) as level_span:
+            trace = self._run_level_inner(j)
+            level_span.set(
+                population=trace.population, edges=len(trace.f_edges)
+            )
+        return trace
+
+    def _run_level_inner(self, j: int) -> LevelTrace:
         if self._active and self._parallel_level_ok(j):
             return self._run_level_parallel(j)
         incremental = self._incremental

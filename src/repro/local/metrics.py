@@ -80,6 +80,24 @@ class MessageStats:
             self.per_round.append(0)
         self.per_round[-1] += count
 
+    def snapshot(self) -> dict:
+        """Point-in-time dict view, for the obs metrics registry.
+
+        The same ``snapshot() -> dict`` contract as ``ServiceMetrics``
+        and ``StoreStats``, so a run's stats can be registered in
+        ``repro.obs.registry()`` and rendered by the Prometheus
+        exporter.  ``by_tag`` is a plain dict copy and ``stage_offsets``
+        a list copy — mutating the snapshot never touches the live
+        counters.
+        """
+        return {
+            "total": self.total,
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "by_tag": dict(self.by_tag),
+            "stage_offsets": list(self.stage_offsets),
+        }
+
     def record_drop(self) -> None:
         self.dropped += 1
 

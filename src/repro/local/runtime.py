@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.local.engine import resolve_round_engine
 from repro.local.faults import CORRUPTED, FaultPlan
@@ -162,9 +163,25 @@ class Runtime:
         return self._scheduler
 
     def run(self) -> RunReport:
-        if self._scheduler == "dense":
-            return self._run_dense()
-        return self._run_active()
+        if not obs.enabled():
+            if self._scheduler == "dense":
+                return self._run_dense()
+            return self._run_active()
+        with obs.span(
+            "runtime/run", scheduler=self._scheduler, n=self._network.n
+        ) as run_span:
+            if self._scheduler == "dense":
+                report = self._run_dense()
+            else:
+                report = self._run_active()
+            run_span.set(
+                rounds=report.rounds,
+                messages=report.messages.total,
+                dropped=report.messages.dropped,
+                corrupted=report.messages.corrupted,
+                halted=report.halted,
+            )
+        return report
 
     # ------------------------------------------------------------------
     # dense scheduler: the seed baseline — every node, every round

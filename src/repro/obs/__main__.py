@@ -1,0 +1,64 @@
+"""CLI: ``python -m repro.obs {report,validate,chrome} FILE``.
+
+``report`` prints the per-phase table for a JSON-lines trace,
+``validate`` checks every record against the span schema (CI runs this
+on freshly generated traces), and ``chrome`` converts a JSON-lines
+trace to a ``trace_event`` file for chrome://tracing / Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import (
+    read_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .report import report_file
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro telemetry traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report_cmd = sub.add_parser("report", help="per-phase time/cost table")
+    report_cmd.add_argument("file", help="JSON-lines span trace")
+
+    validate_cmd = sub.add_parser(
+        "validate", help="check a trace against the span schema"
+    )
+    validate_cmd.add_argument("file", help="JSON-lines span trace")
+    validate_cmd.add_argument(
+        "--chrome",
+        action="store_true",
+        help="treat FILE as a Chrome trace_event file instead",
+    )
+
+    chrome_cmd = sub.add_parser(
+        "chrome", help="convert a JSON-lines trace to trace_event JSON"
+    )
+    chrome_cmd.add_argument("file", help="JSON-lines span trace")
+    chrome_cmd.add_argument("output", help="trace_event JSON destination")
+
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        sys.stdout.write(report_file(args.file))
+    elif args.command == "validate":
+        if args.chrome:
+            count = validate_chrome_trace(args.file)
+        else:
+            count = len(read_jsonl(args.file))
+        print(f"{args.file}: {count} spans, schema ok")
+    elif args.command == "chrome":
+        count = write_chrome_trace(read_jsonl(args.file), args.output)
+        print(f"{args.output}: {count} events")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

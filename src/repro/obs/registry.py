@@ -1,0 +1,166 @@
+"""The metrics half of the telemetry plane: one registry, many sources.
+
+The repo grew four counter families before it grew a common schema:
+``MessageStats`` (simulation), ``ServiceMetrics`` (serving),
+``StoreStats`` (artifact store), and the chaos counters folded into
+``StoreStats``.  Rather than rewrite them, the registry absorbs
+anything with a ``snapshot() -> dict`` method -- all four already have
+one (``MessageStats`` gained its own in this PR).  On top of that it
+offers typed first-class :class:`Counter`/:class:`Gauge` instruments
+for code that has no legacy stats object to lean on.
+
+``collect()`` returns ``{source_name: snapshot_dict}``; the Prometheus
+exporter in :mod:`repro.obs.export` renders that as a text exposition
+page.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SnapshotSource(Protocol):
+    """Anything exposing a point-in-time ``snapshot() -> dict``."""
+
+    def snapshot(self) -> Dict[str, Any]:  # pragma: no cover - protocol
+        ...
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {self.name: self.value}
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, cache size, ...)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {self.name: self.value}
+
+
+class MetricsRegistry:
+    """Named snapshot sources plus registry-owned instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sources: Dict[str, SnapshotSource] = {}
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def register(self, name: str, source: SnapshotSource) -> SnapshotSource:
+        """Attach a snapshot()-bearing source under ``name``.
+
+        Re-registering a name replaces the old source: services and
+        stores are rebuilt freely in tests, and the registry should
+        follow the live object, not pin a dead one.
+        """
+
+        if not callable(getattr(source, "snapshot", None)):
+            raise TypeError(
+                f"source {name!r} has no snapshot() method: {source!r}"
+            )
+        with self._lock:
+            self._sources[name] = source
+        return source
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._sources.pop(name, None)
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def sources(self) -> Dict[str, SnapshotSource]:
+        with self._lock:
+            return dict(self._sources)
+
+    def collect(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot every source and instrument, keyed by source name.
+
+        Sources snapshot outside the registry lock -- their own locks
+        order the reads, and a slow source must not stall register().
+        """
+
+        with self._lock:
+            sources = dict(self._sources)
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, source in sorted(sources.items()):
+            out[name] = dict(source.snapshot())
+        instruments: Dict[str, Any] = {}
+        for name, counter in sorted(counters.items()):
+            instruments[name] = counter.value
+        for name, gauge in sorted(gauges.items()):
+            instruments[name] = gauge.value
+        if instruments:
+            out["obs"] = instruments
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._sources.clear()
+            self._counters.clear()
+            self._gauges.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry."""
+
+    return _registry

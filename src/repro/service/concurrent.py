@@ -37,12 +37,14 @@ complement to the cumulative :class:`ServiceMetrics` counters.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import Iterable
 
+from repro import obs
 from repro.algorithms.base import LocalAlgorithm
 from repro.core.params import SamplerParams
 from repro.errors import ServiceTimeout
@@ -70,7 +72,15 @@ _RECENT_CAP = 256
 
 @dataclass
 class RequestTrace:
-    """One request's span record for the JSON-lines trace export."""
+    """One request's span record for the JSON-lines trace export.
+
+    Serialized on the ``repro.obs`` span schema (DESIGN.md §3.13): the
+    request-level fields ride in ``attrs`` and the record carries the
+    schema-version field, so a front's trace file is directly readable
+    by ``python -m repro.obs report`` and mergeable with build/runtime
+    span logs.  The flat attribute access the older API offered
+    (``trace.outcome`` etc.) is unchanged.
+    """
 
     request_id: int
     algo: str
@@ -84,9 +94,36 @@ class RequestTrace:
     serve_seconds: float = 0.0  # actual replay time inside the slot
     total_seconds: float = 0.0
     thread: str = ""
+    started: float = 0.0  # monotonic-clock start, comparable to spans
+    pid: int = 0
+
+    def to_record(self) -> dict:
+        """This trace as one obs span-schema record."""
+        return obs.as_record(
+            {
+                "id": self.request_id,
+                "parent": 0,
+                "name": "service/request",
+                "ts": self.started,
+                "dur": self.total_seconds,
+                "pid": self.pid or os.getpid(),
+                "thread": self.thread,
+                "attrs": {
+                    "algo": self.algo,
+                    "fingerprint": self.fingerprint,
+                    "outcome": self.outcome,
+                    "coalesced": self.coalesced,
+                    "cold": self.cold,
+                    "spanner_source": self.spanner_source,
+                    "schedule_source": self.schedule_source,
+                    "wait_seconds": self.wait_seconds,
+                    "serve_seconds": self.serve_seconds,
+                },
+            }
+        )
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self), sort_keys=True)
+        return json.dumps(self.to_record(), sort_keys=True)
 
 
 class _Flight:
@@ -285,10 +322,18 @@ class ConcurrentSimulationService:
         """Every recorded span as one JSON object per line."""
         return [trace.to_json() for trace in self.traces]
 
-    def dump_traces(self, path) -> int:
-        """Write the span records as JSON lines; returns the count."""
+    def dump_traces(self, path, *, append: bool = False) -> int:
+        """Write the span records as JSON lines; returns the count.
+
+        ``append=True`` adds to an existing file instead of clobbering
+        it — multi-batch runs dump after each batch and keep the earlier
+        spans.  Every line carries the obs schema-version field, so the
+        file validates under ``python -m repro.obs validate`` and
+        appended batches from different schema eras cannot silently mix.
+        """
         lines = self.trace_lines()
-        with open(path, "w", encoding="utf-8") as handle:
+        mode = "a" if append else "w"
+        with open(path, mode, encoding="utf-8") as handle:
             for line in lines:
                 handle.write(line + "\n")
         return len(lines)
@@ -494,8 +539,22 @@ class ConcurrentSimulationService:
             serve_seconds=serve_seconds,
             total_seconds=total,
             thread=threading.current_thread().name,
+            started=started,
+            pid=os.getpid(),
         )
         with self._trace_lock:
             self._next_id += 1
             trace.request_id = self._next_id
             self._traces.append(trace)
+        if obs.enabled():
+            # Mirror the request into the process-wide collector so one
+            # trace file can hold build, store, runtime, and serve spans
+            # together.  The front measured its own timestamps (it did
+            # before the obs plane existed); record() adopts them as-is.
+            record = trace.to_record()
+            obs.collector().record(
+                "service/request",
+                record["ts"],
+                record["ts"] + record["dur"],
+                **record["attrs"],
+            )

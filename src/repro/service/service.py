@@ -33,6 +33,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro import obs
 from repro.algorithms.base import LocalAlgorithm
 from repro.core.params import SamplerParams
 from repro.core.spanner import SpannerResult
@@ -480,6 +481,20 @@ class SimulationService:
 
     # ------------------------------------------------------------------
     def _answer(self, request: SimulationRequest) -> SimulationResponse:
+        if not obs.enabled():
+            return self._answer_impl(request)
+        with obs.span(
+            "service/answer", algo=request.algo.name
+        ) as answer_span:
+            response = self._answer_impl(request)
+            answer_span.set(
+                spanner_source=response.spanner_info.source,
+                cold=response.cold,
+                messages=response.simulation.total_messages,
+            )
+        return response
+
+    def _answer_impl(self, request: SimulationRequest) -> SimulationResponse:
         network = request.network if request.network is not None else self._network
         if network is None:
             raise ValueError("request has no network and the service has no default")

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro import obs
 from repro.algorithms.base import LocalAlgorithm
 from repro.core.params import SamplerParams
 from repro.core.spanner import SpannerResult
@@ -124,28 +125,32 @@ def run_one_stage(
     sampler_params = params if params is not None else theorem3_params(gamma, seed=seed)
     from repro.store.store import resolve_store  # lazy: store sits above simulate
 
-    active_store = resolve_store(store)
-    if active_store is not None:
-        spanner = active_store.spanner(
+    with obs.span(
+        "scheme/one_stage", algo=algo.name, n=network.n
+    ) as scheme_span:
+        active_store = resolve_store(store)
+        if active_store is not None:
+            spanner = active_store.spanner(
+                network,
+                sampler_params,
+                scheduler=scheduler,
+                round_engine=round_engine,
+            )
+        else:
+            spanner = build_spanner_distributed(
+                network, sampler_params, scheduler=scheduler, engine=round_engine
+            )
+        simulation = simulate_over_spanner(
             network,
-            sampler_params,
+            spanner.edges,
+            alpha=spanner.stretch_bound,
+            algo=algo,
+            seed=seed,
+            engine=engine,
             scheduler=scheduler,
+            distance_engine=distance_engine,
             round_engine=round_engine,
+            store=active_store,
         )
-    else:
-        spanner = build_spanner_distributed(
-            network, sampler_params, scheduler=scheduler, engine=round_engine
-        )
-    simulation = simulate_over_spanner(
-        network,
-        spanner.edges,
-        alpha=spanner.stretch_bound,
-        algo=algo,
-        seed=seed,
-        engine=engine,
-        scheduler=scheduler,
-        distance_engine=distance_engine,
-        round_engine=round_engine,
-        store=active_store,
-    )
+        scheme_span.set(messages=simulation.messages.total)
     return SchemeReport(outputs=simulation.outputs, spanner=spanner, simulation=simulation)

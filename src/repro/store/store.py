@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, NamedTuple
 
+from repro import obs
 from repro.core.params import SamplerParams
 from repro.core.spanner import SpannerResult
 from repro.graphs.distance import resolve_engine
@@ -283,6 +284,25 @@ class ArtifactStore:
         §3.6 / §3.10 equivalence contracts), so a hit under any of them
         is exact.
         """
+        if not obs.enabled():
+            return self._fetch_spanner_impl(
+                network, params, scheduler=scheduler, round_engine=round_engine
+            )
+        with obs.span("store/fetch_spanner", n=network.n) as fetch_span:
+            result, info = self._fetch_spanner_impl(
+                network, params, scheduler=scheduler, round_engine=round_engine
+            )
+            fetch_span.set(source=info.source)
+        return result, info
+
+    def _fetch_spanner_impl(
+        self,
+        network: Network,
+        params: SamplerParams,
+        *,
+        scheduler: str = "active",
+        round_engine: str | None = None,
+    ) -> tuple[SpannerResult, FetchInfo]:
         cached, info = self.peek_spanner(network, params)
         if cached is not None:
             return cached, info
@@ -391,6 +411,24 @@ class ArtifactStore:
         never cached — the schedule is derived directly (a "bypass"),
         bounding the store's memory at large ``n``.
         """
+        if not obs.enabled():
+            return self._fetch_flood_impl(spanner, radius, engine=engine)
+        with obs.span(
+            "store/fetch_flood_schedule", radius=int(radius)
+        ) as fetch_span:
+            schedule, info = self._fetch_flood_impl(
+                spanner, radius, engine=engine
+            )
+            fetch_span.set(source=info.source)
+        return schedule, info
+
+    def _fetch_flood_impl(
+        self,
+        spanner: Network,
+        radius: int,
+        *,
+        engine: str | None = None,
+    ) -> tuple[FloodSchedule, FetchInfo]:
         from repro.simulate.tlocal import flood_schedule as derive
 
         radius = max(0, radius)
@@ -543,6 +581,7 @@ class ArtifactStore:
             lock.acquire()
         except LockTimeout:
             self.stats.bump(lock_contended=1)
+            obs.event("store/lock_timeout", key=key[:12])
             yield None
             return
         try:
@@ -550,6 +589,10 @@ class ArtifactStore:
                 lock_contended=int(lock.contended),
                 lock_reclaimed=int(lock.reclaimed),
             )
+            if lock.contended:
+                obs.event("store/lock_contended", key=key[:12])
+            if lock.reclaimed:
+                obs.event("store/lock_reclaimed", key=key[:12])
             yield lock
         finally:
             lock.release()
@@ -592,6 +635,7 @@ class ArtifactStore:
                 return loader(path, *args)
             except ArtifactError:
                 self.stats.bump(corrupt=1)
+                obs.event("store/corrupt", key=key[:12])
                 return None
             except FileNotFoundError:
                 return None  # raced away since exists(): a plain miss
@@ -599,6 +643,7 @@ class ArtifactStore:
                 if attempt >= self.retries:
                     return None
                 self.stats.bump(retries=1)
+                obs.event("store/retry", key=key[:12], attempt=attempt)
                 self._backoff_sleep(key, attempt)
         return None
 
@@ -618,9 +663,11 @@ class ArtifactStore:
         fault = self.chaos.load_fault(key, tick)
         if fault == "oserror":
             self.stats.bump(chaos_injected=1)
+            obs.event("store/chaos", fault="oserror", key=key[:12])
             raise OSError(f"chaos: injected I/O failure for {key[:12]}…")
         if fault == "corrupt":
             self.stats.bump(chaos_injected=1)
+            obs.event("store/chaos", fault="corrupt", key=key[:12])
             raise ArtifactError(f"chaos: injected corrupt read for {key[:12]}…")
 
     def _persist(self, key: str, saver, artifact) -> None:

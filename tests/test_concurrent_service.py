@@ -284,7 +284,19 @@ class TestTraces:
 
         lines = path.read_text().splitlines()
         assert len(lines) == 3
-        assert all(json.loads(line)["algo"] for line in lines)
+        records = [json.loads(line) for line in lines]
+        # Traces ride the obs span schema: versioned records whose
+        # request-level fields live in attrs.
+        assert all(record["schema"] == 1 for record in records)
+        assert all(record["kind"] == "span" for record in records)
+        assert all(record["name"] == "service/request" for record in records)
+        assert all(record["attrs"]["algo"] for record in records)
+        from repro.obs import read_jsonl
+
+        assert len(read_jsonl(path)) == 3  # schema-validating reader
+        # append mode keeps earlier batches instead of clobbering them
+        assert front.dump_traces(path, append=True) == 3
+        assert len(path.read_text().splitlines()) == 6
 
     def test_tracing_can_be_disabled(self, net):
         front = ConcurrentSimulationService(

@@ -1,0 +1,364 @@
+"""The unified telemetry plane (DESIGN.md §3.13).
+
+The two contracts under test: *determinism by construction* — every
+instrumented result is bit-identical with ``REPRO_OBS`` on, off, or
+flipped mid-process, and span trees are structurally stable across
+repeated runs — and *schema round-trips* — the JSON-lines, Chrome
+``trace_event``, and Prometheus exporters all render the same collector
+state without loss, including worker-shard spans merged across process
+boundaries by the parallel build engine.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.algorithms import MinIdAggregation
+from repro.core import SamplerParams, build_spanner
+from repro.graphs import erdos_renyi
+from repro.local.metrics import MessageStats
+from repro.simulate import run_one_stage
+
+PARAMS = SamplerParams(k=2, h=2, seed=3)
+
+
+@pytest.fixture
+def net():
+    return erdos_renyi(60, 0.1, seed=4)
+
+
+@pytest.fixture
+def obs_off():
+    """Plane off, collector clean — restore whatever state we entered with."""
+    previous = obs.set_enabled(False)
+    obs.collector().reset()
+    yield
+    obs.collector().reset()
+    obs.set_enabled(previous)
+
+
+@pytest.fixture
+def obs_on():
+    previous = obs.set_enabled(True)
+    obs.collector().reset()
+    yield
+    obs.collector().reset()
+    obs.set_enabled(previous)
+
+
+def _shape(records):
+    """Structure of a span forest, timestamps and pids erased."""
+    by_id = {record["id"]: record for record in records}
+
+    def path(record):
+        names = [record["name"]]
+        while record["parent"] in by_id:
+            record = by_id[record["parent"]]
+            names.append(record["name"])
+        return tuple(reversed(names))
+
+    return sorted(
+        (path(record), tuple(sorted(record["attrs"].items())))
+        for record in records
+    )
+
+
+class TestGating:
+    def test_disabled_span_is_the_noop_singleton(self, obs_off):
+        assert obs.span("anything", x=1) is obs.NOOP_SPAN
+        with obs.span("build/level", level=2) as span:
+            span.set(population=5)
+        obs.event("store/retry", attempt=1)
+        assert obs.collector().finished() == []
+
+    def test_enabled_spans_nest_and_record(self, obs_on):
+        with obs.span("a") as outer:
+            with obs.span("b", k=1):
+                obs.event("c")
+            outer.set(done=True)
+        records = obs.collector().finished()
+        assert [r["name"] for r in records] == ["c", "b", "a"]
+        c, b, a = records
+        assert b["parent"] == a["id"]
+        assert c["parent"] == b["id"]
+        assert a["parent"] == 0
+        assert a["attrs"] == {"done": True}
+        assert b["dur"] >= 0 and a["dur"] >= b["dur"]
+        assert c["dur"] == 0.0
+
+    def test_set_enabled_returns_previous(self, obs_off):
+        assert obs.set_enabled(True) is False
+        assert obs.set_enabled(False) is True
+        assert not obs.enabled()
+
+
+class TestDeterminism:
+    def test_spanner_bit_identical_on_vs_off(self, net, obs_off):
+        baseline = build_spanner(net, PARAMS)
+        obs.set_enabled(True)
+        traced = build_spanner(net, PARAMS)
+        obs.set_enabled(False)
+        assert traced == baseline  # full equality: edges, trace, certificates
+
+    def test_scheme_report_bit_identical_on_vs_off(self, net, obs_off):
+        baseline = run_one_stage(net, MinIdAggregation(2), params=PARAMS, seed=0)
+        obs.set_enabled(True)
+        traced = run_one_stage(net, MinIdAggregation(2), params=PARAMS, seed=0)
+        obs.set_enabled(False)
+        assert traced.outputs == baseline.outputs
+        assert traced.simulation.messages == baseline.simulation.messages
+        assert traced.spanner == baseline.spanner
+
+    def test_span_tree_stable_across_runs(self, net, obs_on):
+        build_spanner(net, PARAMS)
+        first = obs.collector().finished()
+        obs.collector().reset()
+        build_spanner(net, PARAMS)
+        second = obs.collector().finished()
+        assert _shape(first) == _shape(second)
+
+    def test_build_span_tree_shape(self, net, obs_on):
+        result = build_spanner(net, PARAMS)
+        records = obs.collector().finished()
+        roots = [r for r in records if r["name"] == "build/spanner"]
+        assert len(roots) == 1
+        assert roots[0]["attrs"]["n"] == net.n
+        assert roots[0]["attrs"]["edges"] == len(result.edges)
+        levels = [r for r in records if r["name"] == "build/level"]
+        assert [r["attrs"]["level"] for r in levels] == list(
+            range(PARAMS.levels)
+        )
+        assert all(r["parent"] == roots[0]["id"] for r in levels)
+
+    def test_runtime_span_carries_roll_ups(self, net, obs_on):
+        report = run_one_stage(net, MinIdAggregation(2), params=PARAMS, seed=0)
+        records = obs.collector().finished()
+        runs = [r for r in records if r["name"] == "runtime/run"]
+        assert runs, "no runtime/run span recorded"
+        assert (
+            sum(r["attrs"]["messages"] for r in runs)
+            == report.spanner.messages.total
+        )
+        scheme = [r for r in records if r["name"] == "scheme/one_stage"]
+        assert len(scheme) == 1
+        assert scheme[0]["attrs"]["messages"] == report.simulation.messages.total
+
+
+class TestParallelMerge:
+    def test_worker_shard_spans_merge_parent_side(self, net, obs_on):
+        serial = build_spanner(net, PARAMS)
+        serial_records = obs.collector().finished()
+        obs.collector().reset()
+        parallel = build_spanner(net, PARAMS, jobs=2)
+        records = obs.collector().finished()
+        assert parallel == serial  # obs never perturbs the parallel path
+        shards = [r for r in records if r["name"] == "build/shard"]
+        assert shards, "no worker shard spans adopted"
+        import os
+
+        assert all(r["pid"] != os.getpid() for r in shards)
+        assert {r["attrs"]["level"] for r in shards} <= set(
+            range(PARAMS.levels)
+        )
+        # adopted spans re-parent under the level that collected them
+        by_id = {r["id"]: r for r in records}
+        for shard in shards:
+            assert by_id[shard["parent"]]["name"] == "build/level"
+        assert not [
+            r for r in serial_records if r["name"] == "build/shard"
+        ]
+
+    def test_adopt_remaps_ids_and_parents(self, obs_on):
+        collector = obs.collector()
+        worker = obs.Collector()
+        with worker.span("build/shard", level=0):
+            with worker.span("inner"):
+                pass
+        drained = worker.drain_records()
+        assert worker.finished() == []
+        with collector.span("build/level", level=0):
+            collector.adopt(drained)
+        records = collector.finished()
+        names = {r["name"]: r for r in records}
+        assert names["build/shard"]["parent"] == names["build/level"]["id"]
+        assert names["inner"]["parent"] == names["build/shard"]["id"]
+        assert len({r["id"] for r in records}) == 3
+
+
+class TestExporters:
+    def test_jsonl_round_trip_and_append(self, tmp_path, obs_on):
+        with obs.span("a", x=1):
+            pass
+        records = obs.collector().finished()
+        path = tmp_path / "trace.jsonl"
+        assert obs.write_jsonl(records, path) == 1
+        assert obs.write_jsonl(records, path, append=True) == 1
+        back = obs.read_jsonl(path)
+        assert len(back) == 2
+        assert all(r["schema"] == obs.SPAN_SCHEMA for r in back)
+        assert back[0]["name"] == "a"
+        assert back[0]["attrs"] == {"x": 1}
+
+    def test_read_jsonl_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        record = obs.as_record(
+            {"id": 1, "name": "a", "ts": 0.0, "dur": 0.1, "pid": 1}
+        )
+        record["schema"] = 99
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            obs.read_jsonl(path)
+
+    def test_chrome_trace_structure(self, tmp_path, obs_on):
+        with obs.span("build/spanner", n=10):
+            with obs.span("build/level", level=0):
+                pass
+        path = tmp_path / "trace.json"
+        assert obs.write_chrome_trace(obs.collector().finished(), path) == 2
+        trace = json.loads(path.read_text())
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in events} == {"build/spanner", "build/level"}
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+        assert all(e["cat"] == "build" for e in events)
+        assert obs.validate_chrome_trace(path) == 2
+
+    def test_prometheus_text_absorbs_legacy_stats(self):
+        from repro.store.store import StoreStats
+
+        registry = obs.MetricsRegistry()
+        stats = StoreStats()
+        stats.bump(memory_hits=3, misses=1)
+        registry.register("store", stats)
+        messages = MessageStats()
+        messages.record("query")
+        messages.record("query")
+        messages.record("bcast")
+        registry.register("simulation", messages)
+        text = obs.prometheus_text(registry)
+        assert "repro_store_memory_hits 3" in text
+        assert "repro_store_misses 1" in text
+        assert "repro_simulation_total 3" in text
+        assert 'repro_simulation_by_tag{key="query"} 2' in text
+        assert 'repro_simulation_by_tag{key="bcast"} 1' in text
+
+    def test_registry_collect_includes_instruments(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("requests").inc(2)
+        registry.gauge("depth").set(1.5)
+        collected = registry.collect()
+        assert collected["obs"] == {"requests": 2, "depth": 1.5}
+        with pytest.raises(ValueError):
+            registry.counter("requests").inc(-1)
+        with pytest.raises(TypeError):
+            registry.register("bad", object())
+
+
+class TestMessageStatsSnapshot:
+    def test_snapshot_contract(self):
+        stats = MessageStats()
+        stats.record("query")
+        stats.record("bcast")
+        stats.record_drop()
+        stats.record_corrupt()
+        merged = stats.merge(stats)
+        snap = merged.snapshot()
+        assert snap == {
+            "total": 4,
+            "dropped": 2,
+            "corrupted": 2,
+            "by_tag": {"query": 2, "bcast": 2},
+            "stage_offsets": [0, 1],
+        }
+        # the snapshot is detached from the live counters
+        snap["by_tag"]["query"] = 99
+        snap["stage_offsets"].append(7)
+        assert merged.by_tag["query"] == 2
+        assert merged.stage_offsets == [0, 1]
+
+
+class TestReportCli:
+    def _trace_file(self, tmp_path):
+        with obs.span("build/spanner", n=10):
+            with obs.span("build/level", level=0):
+                pass
+            with obs.span("build/level", level=1):
+                pass
+        path = tmp_path / "trace.jsonl"
+        obs.write_jsonl(obs.collector().finished(), path)
+        return path
+
+    def test_summarize_groups_and_self_time(self, tmp_path, obs_on):
+        path = self._trace_file(tmp_path)
+        rows = obs.summarize(obs.read_jsonl(path))
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["build/level"]["count"] == 2
+        assert by_name["build/spanner"]["count"] == 1
+        total = by_name["build/spanner"]
+        assert total["self"] <= total["total"]
+
+    def test_report_command(self, tmp_path, obs_on, capsys):
+        from repro.obs.__main__ import main
+
+        path = self._trace_file(tmp_path)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "build/spanner" in out
+        assert "build/level" in out
+        assert "3 spans" in out
+
+    def test_validate_command(self, tmp_path, obs_on, capsys):
+        from repro.obs.__main__ import main
+
+        path = self._trace_file(tmp_path)
+        assert main(["validate", str(path)]) == 0
+        assert "schema ok" in capsys.readouterr().out
+        chrome = tmp_path / "trace.json"
+        assert main(["chrome", str(path), str(chrome)]) == 0
+        assert main(["validate", "--chrome", str(chrome)]) == 0
+
+
+class TestServiceIntegration:
+    def test_concurrent_front_mirrors_requests_into_collector(
+        self, net, obs_on
+    ):
+        from repro.service import ConcurrentSimulationService
+
+        front = ConcurrentSimulationService(
+            net, params=PARAMS, seed=0, max_workers=2, merge_window=0.0
+        )
+        with front:
+            front.serve([MinIdAggregation(2), MinIdAggregation(2)])
+        records = obs.collector().finished()
+        requests = [r for r in records if r["name"] == "service/request"]
+        assert len(requests) == 2
+        assert {r["attrs"]["outcome"] for r in requests} == {"served"}
+        answers = [r for r in records if r["name"] == "service/answer"]
+        assert len(answers) == 2  # one cold build, one warm cache hit
+        sources = [r["attrs"]["spanner_source"] for r in answers]
+        assert sorted(sources) == ["built", "memory"]
+
+    def test_trace_file_merges_with_build_spans(self, net, tmp_path, obs_on):
+        """The acceptance flow in miniature: parallel build + serve →
+        one file report + chrome both load."""
+        from repro.service import ConcurrentSimulationService
+
+        build_spanner(net, PARAMS, jobs=2)
+        front = ConcurrentSimulationService(
+            net, params=PARAMS, seed=0, max_workers=2, merge_window=0.0
+        )
+        with front:
+            front.serve([MinIdAggregation(2)])
+        path = tmp_path / "merged.jsonl"
+        count = obs.write_jsonl(obs.collector().finished(), path)
+        records = obs.read_jsonl(path)
+        assert len(records) == count
+        names = {r["name"] for r in records}
+        assert {"build/spanner", "build/shard", "service/request"} <= names
+        rows = obs.summarize(records)
+        assert any(row["pids"] > 1 for row in rows if row["name"] == "build/shard")
+        chrome = tmp_path / "merged.trace.json"
+        assert obs.write_chrome_trace(records, chrome) == count
+        assert obs.validate_chrome_trace(chrome) == count

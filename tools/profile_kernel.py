@@ -8,6 +8,7 @@ Hot-path PRs should start from data, not guesses::
     PYTHONPATH=src python tools/profile_kernel.py spanner_dist/gnp/n2000 --engine reference
     PYTHONPATH=src python tools/profile_kernel.py spanner_par/gnp/n20000 --jobs 4
     PYTHONPATH=src python tools/profile_kernel.py spanner/gnp/n2000 --top-alloc
+    PYTHONPATH=src python tools/profile_kernel.py spanner/gnp/n2000 --obs-trace /tmp/build.trace.json
     PYTHONPATH=src python tools/profile_kernel.py --list
 
 The kernel's ``build()`` (input construction) runs outside the profile;
@@ -21,6 +22,10 @@ time profile for a ``tracemalloc`` allocation profile: the top
 ``--limit`` allocation sites plus the traced-peak size — the place to
 start when a kernel's ``peak_rss_mb`` regresses.  (tracemalloc sees
 this process only; parallel-build worker allocations stay off-book.)
+``--obs-trace PATH`` additionally runs the body under ``REPRO_OBS=1``
+and writes its span tree as a Chrome ``trace_event`` file — open it in
+chrome://tracing or Perfetto to see where the profiled wall-time went
+per phase (worker shards included; their spans merge parent-side).
 """
 
 from __future__ import annotations
@@ -84,6 +89,13 @@ def main(argv: list[str] | None = None) -> int:
         help="profile allocations (tracemalloc) instead of time: top "
         "--limit allocation sites plus the traced peak",
     )
+    parser.add_argument(
+        "--obs-trace",
+        metavar="PATH",
+        help="run the body with REPRO_OBS=1 and write its span tree as "
+        "a Chrome trace_event file (chrome://tracing / Perfetto) "
+        "alongside the profile",
+    )
     args = parser.parse_args(argv)
 
     # Process-wide switches must be pinned before repro imports: kernels
@@ -95,6 +107,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_DISTANCE_ENGINE"] = args.distance_engine
     if args.jobs is not None:
         os.environ["REPRO_BUILD_JOBS"] = str(args.jobs)
+    if args.obs_trace:
+        os.environ["REPRO_OBS"] = "1"
 
     from repro.bench.perf import default_kernels
 
@@ -122,6 +136,11 @@ def main(argv: list[str] | None = None) -> int:
     net = _net_of(built)
     label = f"{kernel.name}{' (baseline)' if args.baseline else ''}"
     print(f"profiling {label} on n={net.n}, m={net.m} ...", flush=True)
+    if args.obs_trace:
+        # The build above ran with spans on too; keep only the body's.
+        from repro import obs
+
+        obs.collector().reset()
     if args.top_alloc:
         import tracemalloc
 
@@ -136,13 +155,20 @@ def main(argv: list[str] | None = None) -> int:
         )
         for stat in snapshot.statistics("lineno")[: args.limit]:
             print(f"  {stat}")
-        return 0
-    profiler = cProfile.Profile()
-    profiler.enable()
-    body(built)
-    profiler.disable()
-    stats = pstats.Stats(profiler)
-    stats.sort_stats(args.sort).print_stats(args.limit)
+    else:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        body(built)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(args.sort).print_stats(args.limit)
+    if args.obs_trace:
+        from repro import obs
+
+        count = obs.write_chrome_trace(
+            obs.collector().finished(), args.obs_trace
+        )
+        print(f"span tree: {count} spans -> {args.obs_trace}")
     return 0
 
 
